@@ -1,0 +1,48 @@
+"""E1 — Theorem 3.1 (Classification Theorem).
+
+Regenerates the classification table: every canonical family is classified
+and must land in the degree the theorem assigns; the benchmark measures the
+cost of classification (core + width profile) per family and of the
+degree-dispatched solver on planted instances.
+"""
+
+import pytest
+
+from repro.classification import classify_family, solve_hom
+from repro.homomorphism import has_homomorphism
+from repro.workloads import EXPECTED_DEGREES, family_by_name, hom_instances_for_pattern
+
+FAMILY_SIZES = {
+    "stars": 6,
+    "bounded_depth_trees": 5,
+    "grids": 4,
+    "directed_paths": 8,
+    "odd_cycles": 5,
+    "starred_caterpillars": 5,
+    "starred_paths": 7,
+    "b_structures": 4,
+    "directed_b_structures": 4,
+    "starred_binary_trees": 4,
+    "starred_grids": 4,
+    "cliques": 5,
+}
+
+
+@pytest.mark.parametrize("family_name", sorted(FAMILY_SIZES))
+def test_family_classification(benchmark, family_name):
+    """Classify each family; assert the degree matches Theorem 3.1's table."""
+    members = family_by_name(family_name, FAMILY_SIZES[family_name])
+    report = benchmark(classify_family, members)
+    assert report.degree == EXPECTED_DEGREES[family_name], report.summary()
+
+
+@pytest.mark.parametrize(
+    "family_name,index", [("stars", 3), ("starred_paths", 4), ("starred_binary_trees", 2)]
+)
+def test_degree_dispatched_solving(benchmark, family_name, index):
+    """Solve planted instances with the degree-appropriate algorithm; answers must
+    agree with brute force."""
+    pattern = family_by_name(family_name, index + 1)[index]
+    instance = hom_instances_for_pattern(pattern, [max(12, len(pattern) + 4)], planted=True)[0]
+    result = benchmark(solve_hom, instance.pattern, instance.target)
+    assert result.answer == has_homomorphism(instance.pattern, instance.target)

@@ -1,0 +1,39 @@
+"""E9 — Lemma 3.14 / 3.15: the colour-coding hash family.
+
+Benchmarks the search for an injective pair on k-subsets of [n] and the
+end-to-end colour-coding reduction; asserts the Lemma 3.14 bound holds and
+that the reduction agrees with brute force on small instances.
+"""
+
+import random
+
+import pytest
+
+from repro.machines import find_injective_pair, injective_fraction, prime_bound
+from repro.reductions import ColorCodingReduction, EmbInstance
+from repro.structures import cycle, path, random_graph_structure
+
+
+@pytest.mark.parametrize("k,n", [(3, 32), (4, 64), (5, 128)])
+def test_find_injective_pair(benchmark, k, n):
+    rng = random.Random(k * 1000 + n)
+    subset = rng.sample(range(1, n + 1), k)
+    pair = benchmark(find_injective_pair, subset, n)
+    assert pair is not None
+    p, q = pair
+    assert q < p < prime_bound(k, n)
+
+
+@pytest.mark.parametrize("k,n", [(3, 24), (4, 48)])
+def test_injective_fraction(benchmark, k, n):
+    rng = random.Random(k + n)
+    subset = rng.sample(range(1, n + 1), k)
+    fraction = benchmark(injective_fraction, subset, n)
+    assert fraction > 0.0
+
+
+@pytest.mark.parametrize("pattern_builder,seed", [(lambda: path(3), 0), (lambda: cycle(3), 1)])
+def test_color_coding_reduction_end_to_end(benchmark, pattern_builder, seed):
+    instance = EmbInstance(pattern_builder(), random_graph_structure(6, 0.4, seed))
+    reduction = ColorCodingReduction()
+    assert benchmark(reduction.agrees_with_bruteforce, instance)

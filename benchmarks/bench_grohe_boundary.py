@@ -1,0 +1,47 @@
+"""E11 — the FPT / W[1] frontier the fine classification refines.
+
+Grohe's theorem (background to the paper) says bounded core treewidth is
+the exact tractability frontier.  The benchmark contrasts the cost of
+solving planted instances for a bounded-treewidth family (starred paths —
+the PATH degree) against an unbounded-treewidth family (starred cliques)
+as the parameter grows: the former goes through the decomposition DP with
+small bags, the latter degenerates to backtracking over ever larger
+patterns.  Absolute numbers are irrelevant; the shape (flat vs growing per
+target element) is the reproduced claim.
+"""
+
+import pytest
+
+from repro.classification import solve_hom
+from repro.homomorphism import has_homomorphism
+from repro.structures import clique, path, star_expansion
+from repro.workloads import hom_instances_for_pattern
+
+
+@pytest.mark.parametrize("k", [4, 8, 12])
+def test_bounded_treewidth_family_scaling(benchmark, k):
+    """Starred paths of growing length: parameter grows, treewidth stays 1."""
+    pattern = star_expansion(path(k))
+    instance = hom_instances_for_pattern(pattern, [k + 8], planted=True, seed=k)[0]
+    result = benchmark(solve_hom, instance.pattern, instance.target)
+    assert result.answer is True
+
+
+@pytest.mark.parametrize("k", [3, 4, 5])
+def test_unbounded_treewidth_family_scaling(benchmark, k):
+    """Starred cliques of growing size: the W[1]-hard regime."""
+    pattern = star_expansion(clique(k))
+    instance = hom_instances_for_pattern(pattern, [k + 8], planted=True, seed=k)[0]
+    result = benchmark(solve_hom, instance.pattern, instance.target)
+    assert result.answer is True
+
+
+@pytest.mark.parametrize("k", [3, 4])
+def test_clique_into_random_target_baseline(benchmark, k):
+    """Plain k-clique homomorphism into noise (mostly "no") — the hard direction."""
+    from repro.structures import random_graph_structure
+
+    pattern = clique(k)
+    target = random_graph_structure(10, 0.4, k)
+    answer = benchmark(has_homomorphism, pattern, target)
+    assert answer in (True, False)

@@ -1,0 +1,49 @@
+"""E5 — Theorem 4.3 / Lemma 4.5: the class PATH.
+
+Benchmarks jump-machine simulation, the machine-to-HOM(P*) reduction and
+the homomorphism solve of the produced instance; asserts that machine
+acceptance and homomorphism existence coincide and that the machine's
+resource profile (jumps, work-tape space) stays within the Definition 4.1
+budget.
+"""
+
+import pytest
+
+from repro.homomorphism import has_homomorphism
+from repro.machines import contains_one_machine, substring_machine
+from repro.reductions import machine_acceptance_to_hom_path
+
+INPUTS = ["0100110", "0000000", "1011010"]
+
+
+@pytest.mark.parametrize("text", INPUTS)
+def test_jump_machine_simulation(benchmark, text):
+    machine = contains_one_machine(3)
+    statistics = benchmark(machine.run, text)
+    assert statistics.accepted == ("1" in text)
+    assert machine.respects_path_resources(text, parameter=3)
+
+
+@pytest.mark.parametrize("text", INPUTS)
+def test_machine_to_hom_path_reduction(benchmark, text):
+    machine = contains_one_machine(3)
+    instance = benchmark(machine_acceptance_to_hom_path, machine, text)
+    assert machine.accepts(text) == has_homomorphism(instance.pattern, instance.target)
+
+
+@pytest.mark.parametrize("text", ["00101100", "11000011"])
+def test_substring_machine_pipeline(benchmark, text):
+    machine = substring_machine("101")
+    instance = benchmark(machine_acceptance_to_hom_path, machine, text)
+    assert machine.accepts(text) == has_homomorphism(instance.pattern, instance.target)
+
+
+@pytest.mark.parametrize("length", [8, 16, 32])
+def test_reduction_scales_with_input_not_parameter(benchmark, length):
+    """The pattern stays fixed (parameter-sized) while the target grows with |x|."""
+    machine = contains_one_machine(2)
+    text = "0" * (length - 1) + "1"
+    instance = benchmark(machine_acceptance_to_hom_path, machine, text)
+    assert len(instance.pattern) == machine.max_jumps + 1
+    assert len(instance.target) >= length
+    assert has_homomorphism(instance.pattern, instance.target)

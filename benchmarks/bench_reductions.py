@@ -1,0 +1,69 @@
+"""E3 + E4 — Lemma 3.4 and the Reduction Lemma (Lemmas 3.6/3.7/3.8/3.9).
+
+Measures the cost of producing the reduced instances and asserts, per
+instance, that every link preserves the answer (and, for Lemma 3.4, the
+homomorphism count — Remark 3.5).
+"""
+
+import pytest
+
+from repro.decomposition import optimal_path_decomposition, optimal_tree_decomposition
+from repro.homomorphism import count_homomorphisms, has_homomorphism
+from repro.reductions import (
+    HomInstance,
+    ReductionLemmaChain,
+    reduce_with_decomposition,
+    reduce_with_path_decomposition,
+)
+from repro.structures import cycle, path, path_graph, random_graph_structure, star_expansion
+
+from benchmarks.conftest import colored_target_for
+
+
+@pytest.mark.parametrize("target_size", [5, 6, 7])
+def test_lemma34_tree_decomposition_reduction(benchmark, target_size):
+    pattern = cycle(4)
+    target = random_graph_structure(target_size, 0.45, target_size)
+    instance = HomInstance(pattern, target)
+    decomposition = optimal_tree_decomposition(pattern)
+    reduced = benchmark(reduce_with_decomposition, instance, decomposition)
+    assert has_homomorphism(pattern, target) == has_homomorphism(reduced.pattern, reduced.target)
+    assert count_homomorphisms(pattern, target) == count_homomorphisms(
+        reduced.pattern, reduced.target
+    )
+
+
+@pytest.mark.parametrize("length", [3, 4, 5])
+def test_lemma34_path_decomposition_reduction(benchmark, length):
+    pattern = path(length)
+    target = random_graph_structure(6, 0.5, length)
+    instance = HomInstance(pattern, target)
+    decomposition = optimal_path_decomposition(pattern)
+    reduced = benchmark(reduce_with_path_decomposition, instance, decomposition)
+    assert has_homomorphism(pattern, target) == has_homomorphism(reduced.pattern, reduced.target)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_reduction_lemma_chain(benchmark, seed):
+    """Lemma 3.6: transfer p-HOM(P_3*) into p-HOM({C_5}) and keep the answer."""
+    chain = ReductionLemmaChain(cycle(5), path_graph(3))
+    pattern_star = star_expansion(path(3))
+    target = colored_target_for(pattern_star, 4, 0.5, seed)
+    instance = HomInstance(pattern_star, target)
+    transferred = benchmark(chain.apply, instance)
+    assert has_homomorphism(instance.pattern, instance.target) == has_homomorphism(
+        transferred.pattern, transferred.target
+    )
+
+
+def test_reduction_lemma_intermediates(benchmark):
+    """All intermediate instances of the chain are pairwise equivalent."""
+    chain = ReductionLemmaChain(cycle(5), path_graph(3))
+    pattern_star = star_expansion(path(3))
+    target = colored_target_for(pattern_star, 4, 0.5, 11)
+    instance = HomInstance(pattern_star, target)
+    steps = benchmark(chain.intermediate_instances, instance)
+    answers = {
+        name: has_homomorphism(step.pattern, step.target) for name, step in steps.items()
+    }
+    assert len(set(answers.values())) == 1, answers

@@ -1,0 +1,33 @@
+"""E12 — Proposition 7.1: p-EMB(P) restricted to regular graphs is in para-L.
+
+Benchmarks the regular-graph algorithm (degree shortcut + bounded-degree
+first-order model checking) against the exhaustive simple-path search, and
+asserts they agree.
+"""
+
+import pytest
+
+from repro.problems import has_k_path_regular, has_simple_path
+from repro.structures import clique_graph, cycle_graph
+
+
+@pytest.mark.parametrize("n,k", [(12, 3), (20, 4), (30, 5)])
+def test_regular_algorithm_on_cycles(benchmark, n, k):
+    graph = cycle_graph(n)
+    answer = benchmark(has_k_path_regular, graph, k)
+    assert answer == has_simple_path(graph, k + 1)
+
+
+@pytest.mark.parametrize("n,k", [(12, 3), (20, 4)])
+def test_exhaustive_baseline_on_cycles(benchmark, n, k):
+    graph = cycle_graph(n)
+    answer = benchmark(has_simple_path, graph, k + 1)
+    assert answer is True
+
+
+@pytest.mark.parametrize("n,k", [(6, 3), (7, 4)])
+def test_degree_shortcut_on_cliques(benchmark, n, k):
+    """High-degree regular graphs are accepted without any search."""
+    graph = clique_graph(n)
+    answer = benchmark(has_k_path_regular, graph, k)
+    assert answer is True

@@ -1,0 +1,40 @@
+"""E7 — Theorem 5.5 / Lemma 5.4: the class TREE.
+
+Benchmarks alternating jump-machine evaluation and the machine-to-HOM(T*)
+reduction; asserts acceptance coincides with homomorphism existence and
+that per-branch resource budgets (jumps, universal guesses) are respected.
+"""
+
+import pytest
+
+from repro.homomorphism import has_homomorphism
+from repro.machines import alternating_both_bits_machine
+from repro.reductions import machine_acceptance_to_hom_tree
+
+INPUTS = ["0110", "0000", "101010"]
+
+
+@pytest.mark.parametrize("text", INPUTS)
+def test_alternating_machine_evaluation(benchmark, text):
+    machine = alternating_both_bits_machine(2)
+    statistics = benchmark(machine.run, text)
+    assert statistics.accepted == ("0" in text and "1" in text)
+    assert statistics.max_jumps_on_a_branch <= machine.max_jumps
+    assert statistics.max_universal_guesses_on_a_branch <= machine.max_universal_guesses
+
+
+@pytest.mark.parametrize("text", INPUTS)
+def test_machine_to_hom_tree_reduction(benchmark, text):
+    machine = alternating_both_bits_machine(2)
+    instance = benchmark(machine_acceptance_to_hom_tree, machine, text)
+    assert machine.accepts(text) == has_homomorphism(instance.pattern, instance.target)
+
+
+@pytest.mark.parametrize("rounds", [2, 3])
+def test_tree_pattern_grows_with_rounds_only(benchmark, rounds):
+    """The pattern is the complete binary tree of height `rounds` (parameter-sized)."""
+    machine = alternating_both_bits_machine(rounds)
+    text = "01" * 4
+    instance = benchmark(machine_acceptance_to_hom_tree, machine, text)
+    assert len(instance.pattern) == 2 ** (rounds + 1) - 1
+    assert has_homomorphism(instance.pattern, instance.target) == machine.accepts(text)

@@ -1,0 +1,72 @@
+"""E13 — Example 2.2 / Theorem 2.3: the width-measure separations.
+
+Benchmarks the exact width computations on the canonical families and
+asserts the separations the classification rests on: paths have bounded
+pathwidth but growing tree depth, binary trees have bounded treewidth but
+growing pathwidth, grids have growing treewidth; width measures are
+monotone under minors.
+"""
+
+import pytest
+
+from repro.decomposition import (
+    exact_pathwidth,
+    exact_treedepth,
+    exact_treewidth,
+    graph_pathwidth,
+    graph_treedepth,
+    graph_treewidth,
+)
+from repro.minors import random_minor
+from repro.structures import complete_binary_tree_graph, cycle_graph, grid_graph, path_graph
+
+
+@pytest.mark.parametrize("k", [6, 9, 12])
+def test_path_widths(benchmark, k):
+    graph = path_graph(k)
+
+    def profile():
+        return exact_treewidth(graph), exact_pathwidth(graph), exact_treedepth(graph)
+
+    tw, pw, td = benchmark(profile)
+    assert tw == 1 and pw == 1
+    assert td >= 3  # grows like log k
+
+@pytest.mark.parametrize("height", [2, 3])
+def test_binary_tree_widths(benchmark, height):
+    graph = complete_binary_tree_graph(height)
+
+    def profile():
+        return graph_treewidth(graph), graph_pathwidth(graph), graph_treedepth(graph)
+
+    tw, pw, td = benchmark(profile)
+    assert tw == 1
+    assert pw >= (height + 1) // 2 or height < 2
+    assert td >= height + 1
+
+
+@pytest.mark.parametrize("side", [2, 3])
+def test_grid_widths(benchmark, side):
+    graph = grid_graph(side, side)
+
+    def profile():
+        return exact_treewidth(graph), exact_pathwidth(graph)
+
+    tw, pw = benchmark(profile)
+    assert tw >= side - 1 and pw >= tw
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_minor_monotonicity(benchmark, seed):
+    graph = grid_graph(2, 4)
+
+    def take_minor_and_measure():
+        minor, _ = random_minor(graph, contractions=2, deletions=1, seed=seed)
+        if len(minor) == 0:
+            return 0, 0, 0
+        return exact_treewidth(minor), exact_pathwidth(minor), exact_treedepth(minor)
+
+    tw, pw, td = benchmark(take_minor_and_measure)
+    assert tw <= exact_treewidth(graph)
+    assert pw <= exact_pathwidth(graph)
+    assert td <= exact_treedepth(graph)

@@ -1,0 +1,41 @@
+"""Quickstart: parse a conjunctive query, classify it, evaluate it.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.cq import Database, parse_query
+
+
+def main() -> None:
+    # A boolean conjunctive query: "is there a triangle?"
+    triangle = parse_query("E(x, y), E(y, z), E(z, x)")
+    print("query:", triangle)
+
+    # The Chandra–Merlin view: the query is a relational structure, and its
+    # complexity is governed by the width measures of that structure's core.
+    profile = triangle.classify()
+    print(
+        "core widths — treewidth:", profile.core_treewidth,
+        "pathwidth:", profile.core_pathwidth,
+        "tree depth:", profile.core_treedepth,
+    )
+
+    # A small database: a 5-cycle plus one chord (so it contains a triangle).
+    database = Database(
+        {"E": [(1, 2), (2, 3), (3, 4), (4, 5), (5, 1), (2, 5),
+               (2, 1), (3, 2), (4, 3), (5, 4), (1, 5), (5, 2)]}
+    )
+    print("database:", database)
+
+    print("triangle present?", triangle.holds_on(database))
+    print("number of triangle matches:", triangle.count_matches(database))
+
+    # A path-shaped query evaluates through a different algorithmic regime.
+    path_query = parse_query("E(a, b), E(b, c), E(c, d)")
+    print("path query present?", path_query.holds_on(database))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim so that ``pip install -e . --no-use-pep517`` works offline
+(the environment has setuptools but no wheel package)."""
+from setuptools import setup
+
+setup()

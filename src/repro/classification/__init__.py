@@ -1,0 +1,41 @@
+"""The fine classification of conjunctive queries (the paper's contribution).
+
+Width-profile measurement of cores, the three-degree classification of
+Theorem 3.1 (plus Grohe's W[1]-hard regime), and a degree-aware solver
+dispatcher.
+"""
+
+from repro.classification.classifier import (
+    ClassificationReport,
+    StructureProfile,
+    classify_family,
+    classify_structure,
+    classify_with_bounds,
+    looks_bounded,
+)
+from repro.classification.degrees import ComplexityDegree, degree_from_width_bounds
+from repro.classification.solver_dispatch import (
+    PATHWIDTH_THRESHOLD,
+    TREEDEPTH_THRESHOLD,
+    TREEWIDTH_THRESHOLD,
+    SolveResult,
+    choose_degree,
+    solve_hom,
+)
+
+__all__ = [
+    "ComplexityDegree",
+    "degree_from_width_bounds",
+    "StructureProfile",
+    "ClassificationReport",
+    "classify_structure",
+    "classify_family",
+    "classify_with_bounds",
+    "looks_bounded",
+    "SolveResult",
+    "solve_hom",
+    "choose_degree",
+    "TREEDEPTH_THRESHOLD",
+    "PATHWIDTH_THRESHOLD",
+    "TREEWIDTH_THRESHOLD",
+]

@@ -1,0 +1,70 @@
+"""The complexity degrees of the Classification Theorem.
+
+Theorem 3.1 shows that for a bounded-arity class ``A`` whose cores have
+bounded treewidth, ``p-HOM(A)`` falls into exactly one of three degrees,
+determined by the pathwidth and tree depth of the cores; outside the
+bounded-treewidth regime Grohe's theorem gives W[1]-hardness.  The enum
+below names the four possibilities and records, for each, the paper
+statement and the canonical complete problem.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class ComplexityDegree(Enum):
+    """The possible degrees of ``p-HOM(A)`` up to pl-reductions."""
+
+    #: Cores of bounded tree depth: solvable in parameterized logarithmic space.
+    PARA_L = "para-L"
+    #: Cores of bounded pathwidth but unbounded tree depth: ≡pl p-HOM(P*),
+    #: complete for the class PATH.
+    PATH_COMPLETE = "PATH-complete (≡ p-HOM(P*))"
+    #: Cores of bounded treewidth but unbounded pathwidth: ≡pl p-HOM(T*),
+    #: complete for the class TREE.
+    TREE_COMPLETE = "TREE-complete (≡ p-HOM(T*))"
+    #: Cores of unbounded treewidth: W[1]-hard (Grohe's theorem), outside
+    #: the regime the fine classification refines.
+    W1_HARD = "W[1]-hard"
+
+    def paper_statement(self) -> str:
+        """Return the statement of the paper establishing this degree."""
+        return {
+            ComplexityDegree.PARA_L: "Theorem 3.1(3) / Lemma 3.3",
+            ComplexityDegree.PATH_COMPLETE: "Theorem 3.1(2) / Theorem 4.3",
+            ComplexityDegree.TREE_COMPLETE: "Theorem 3.1(1) / Theorem 5.5",
+            ComplexityDegree.W1_HARD: "Grohe 2007 (background)",
+        }[self]
+
+    def complete_problem(self) -> str:
+        """Return a canonical complete problem (or representative) for the degree."""
+        return {
+            ComplexityDegree.PARA_L: "p-HOM of bounded-tree-depth cores",
+            ComplexityDegree.PATH_COMPLETE: "p-HOM(P*), p-st-PATH, p-DIRPATH, p-CYCLE",
+            ComplexityDegree.TREE_COMPLETE: "p-HOM(T*), p-HOM(B), p-EMB(B)",
+            ComplexityDegree.W1_HARD: "p-CLIQUE, p-HOM of grids",
+        }[self]
+
+    def rank(self) -> int:
+        """Return a numeric rank (higher = harder) for comparisons in reports."""
+        order = [
+            ComplexityDegree.PARA_L,
+            ComplexityDegree.PATH_COMPLETE,
+            ComplexityDegree.TREE_COMPLETE,
+            ComplexityDegree.W1_HARD,
+        ]
+        return order.index(self)
+
+
+def degree_from_width_bounds(
+    treewidth_bounded: bool, pathwidth_bounded: bool, treedepth_bounded: bool
+) -> ComplexityDegree:
+    """Apply Theorem 3.1 literally to three boundedness facts about the cores."""
+    if not treewidth_bounded:
+        return ComplexityDegree.W1_HARD
+    if not pathwidth_bounded:
+        return ComplexityDegree.TREE_COMPLETE
+    if not treedepth_bounded:
+        return ComplexityDegree.PATH_COMPLETE
+    return ComplexityDegree.PARA_L

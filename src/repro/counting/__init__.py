@@ -1,0 +1,31 @@
+"""Counting homomorphisms (Section 6).
+
+Brute-force and decomposition-based counters live next to the decision
+solvers in :mod:`repro.homomorphism`; this package adds the Lemma 6.2
+inclusion–exclusion Turing reduction and the Theorem 6.1 counting
+classification / dispatcher.
+"""
+
+from repro.counting.classification import (
+    COUNT_PATHWIDTH_THRESHOLD,
+    COUNT_TREEDEPTH_THRESHOLD,
+    COUNT_TREEWIDTH_THRESHOLD,
+    CountResult,
+    count_hom,
+    counting_degree_for_family,
+)
+from repro.counting.inclusion_exclusion import (
+    count_bijective_endomorphisms,
+    count_star_homomorphisms_via_oracle,
+)
+
+__all__ = [
+    "CountResult",
+    "count_hom",
+    "counting_degree_for_family",
+    "count_star_homomorphisms_via_oracle",
+    "count_bijective_endomorphisms",
+    "COUNT_TREEDEPTH_THRESHOLD",
+    "COUNT_PATHWIDTH_THRESHOLD",
+    "COUNT_TREEWIDTH_THRESHOLD",
+]

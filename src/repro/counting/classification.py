@@ -1,0 +1,85 @@
+"""Theorem 6.1: the fine classification of counting homomorphisms.
+
+For a bounded-arity class ``A`` of bounded treewidth the *counting*
+problem ``p-#HOM(A)`` sits in one of three degrees determined by the
+pathwidth and tree depth of the structures themselves (cores no longer
+help: counting is not invariant under homomorphic equivalence):
+
+* unbounded pathwidth  — interreducible with ``p-#HOM(T*)``,
+* bounded pathwidth, unbounded tree depth — interreducible with
+  ``p-#HOM(P*)``,
+* bounded tree depth   — computable in para-L (the sum–product–sum
+  recursion along an elimination forest).
+
+This module exposes the degree decision (reusing the width machinery, but
+on the structures rather than their cores) and a counting dispatcher
+mirroring :mod:`repro.classification.solver_dispatch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.classification.degrees import ComplexityDegree, degree_from_width_bounds
+from repro.classification.classifier import looks_bounded
+from repro.decomposition.width import good_tree_decomposition, width_profile
+from repro.homomorphism.backtracking import count_homomorphisms
+from repro.homomorphism.decomposition_solver import count_homomorphisms_td
+from repro.homomorphism.treedepth_solver import count_homomorphisms_treedepth
+from repro.structures.structure import Structure
+
+#: Per-structure thresholds standing in for family-level bounds (cf. the
+#: decision thresholds in repro.classification.solver_dispatch).
+COUNT_TREEDEPTH_THRESHOLD = 4
+COUNT_PATHWIDTH_THRESHOLD = 3
+COUNT_TREEWIDTH_THRESHOLD = 4
+
+
+@dataclass
+class CountResult:
+    """A homomorphism count together with the algorithm that produced it."""
+
+    count: int
+    solver: str
+    degree: ComplexityDegree
+    treewidth: int
+    pathwidth: int
+    treedepth: int
+
+
+def counting_degree_for_family(
+    treewidths: Sequence[int], pathwidths: Sequence[int], treedepths: Sequence[int]
+) -> ComplexityDegree:
+    """Apply Theorem 6.1 to sampled width series of a family (no cores!)."""
+    return degree_from_width_bounds(
+        looks_bounded(list(treewidths)),
+        looks_bounded(list(pathwidths)),
+        looks_bounded(list(treedepths)),
+    )
+
+
+def count_hom(pattern: Structure, target: Structure) -> CountResult:
+    """Count homomorphisms with the degree-appropriate algorithm.
+
+    Unlike the decision dispatcher, the widths of the *pattern itself* are
+    used (Theorem 6.1 classifies by the structures, not their cores).
+    """
+    tw, pw, td = width_profile(pattern)
+    if tw > COUNT_TREEWIDTH_THRESHOLD:
+        degree = ComplexityDegree.W1_HARD
+        count = count_homomorphisms(pattern, target)
+        solver = "brute force (#W[1]-hard regime)"
+    elif pw > COUNT_PATHWIDTH_THRESHOLD:
+        degree = ComplexityDegree.TREE_COMPLETE
+        count = count_homomorphisms_td(pattern, target, good_tree_decomposition(pattern))
+        solver = "tree-decomposition counting DP"
+    elif td > COUNT_TREEDEPTH_THRESHOLD:
+        degree = ComplexityDegree.PATH_COMPLETE
+        count = count_homomorphisms_td(pattern, target, good_tree_decomposition(pattern))
+        solver = "path/tree-decomposition counting DP"
+    else:
+        degree = ComplexityDegree.PARA_L
+        count = count_homomorphisms_treedepth(pattern, target)
+        solver = "elimination-forest sum-product recursion (Theorem 6.1(3))"
+    return CountResult(count, solver, degree, tw, pw, td)

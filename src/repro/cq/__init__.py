@@ -1,0 +1,15 @@
+"""Conjunctive queries and databases (the paper's framing problem EVAL(Φ))."""
+
+from repro.cq.database import Database
+from repro.cq.evaluation import evaluate_query_set, classify_query_set
+from repro.cq.parser import parse_query
+from repro.cq.query import ConjunctiveQuery, QueryAtom
+
+__all__ = [
+    "ConjunctiveQuery",
+    "QueryAtom",
+    "Database",
+    "parse_query",
+    "evaluate_query_set",
+    "classify_query_set",
+]

@@ -1,0 +1,44 @@
+"""EVAL(Φ): evaluating sets of boolean conjunctive queries.
+
+The paper's motivating problem is: given a query φ from a fixed set Φ and
+a database B, decide whether φ is true on B — parameterized by the query.
+These helpers evaluate query sets with the degree-aware solver dispatch
+and classify whole query sets with the Theorem 3.1 machinery, providing
+the "database-flavoured" entry point to the library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.classification.classifier import ClassificationReport, classify_family
+from repro.classification.solver_dispatch import SolveResult, solve_hom
+from repro.cq.database import Database
+from repro.cq.query import ConjunctiveQuery
+from repro.structures.structure import Structure
+
+
+def evaluate_query_set(
+    queries: Sequence[ConjunctiveQuery], database: Database | Structure
+) -> List[Tuple[ConjunctiveQuery, SolveResult]]:
+    """Evaluate every query of a set on a database with degree-aware solving.
+
+    Returns the list of ``(query, SolveResult)`` pairs, so callers see both
+    the answers and which of the three algorithmic regimes each query fell
+    into.
+    """
+    results: List[Tuple[ConjunctiveQuery, SolveResult]] = []
+    for query in queries:
+        pattern = query.canonical_structure()
+        target = (
+            database.to_structure(query.vocabulary())
+            if isinstance(database, Database)
+            else database
+        )
+        results.append((query, solve_hom(pattern, target)))
+    return results
+
+
+def classify_query_set(queries: Iterable[ConjunctiveQuery]) -> ClassificationReport:
+    """Classify a set of queries via Theorem 3.1 (on their canonical structures)."""
+    return classify_family([query.canonical_structure() for query in queries])

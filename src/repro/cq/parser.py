@@ -1,0 +1,67 @@
+"""A small text syntax for boolean conjunctive queries.
+
+Queries are written as a conjunction of atoms, optionally preceded by an
+explicit quantifier prefix::
+
+    E(x, y), E(y, z), E(z, x)
+    exists x y z . E(x,y) & E(y,z)
+    ∃x,y . R(x, y, y)
+
+Rules: atoms are ``Name(v1, …, vk)``; atoms are separated by ``,``, ``&``
+or ``∧``; an optional prefix ``exists …`` / ``∃…`` followed by ``.`` or
+``:`` lists variables explicitly (useful to introduce isolated variables).
+Relation and variable names are alphanumeric identifiers (underscores
+allowed).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.cq.query import ConjunctiveQuery, QueryAtom
+from repro.exceptions import FormulaError
+
+_ATOM_PATTERN = re.compile(r"([A-Za-z_][A-Za-z_0-9]*)\s*\(([^()]*)\)")
+_PREFIX_PATTERN = re.compile(r"^\s*(?:exists|∃)\s*([^.:]*)[.:](.*)$", re.DOTALL)
+_NAME_PATTERN = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse the textual syntax above into a :class:`ConjunctiveQuery`."""
+    if not text or not text.strip():
+        raise FormulaError("empty query text")
+    body = text
+    extra_variables: List[str] = []
+    prefix_match = _PREFIX_PATTERN.match(text)
+    if prefix_match:
+        prefix, body = prefix_match.groups()
+        for token in re.split(r"[\s,]+", prefix.strip()):
+            if not token:
+                continue
+            if not _NAME_PATTERN.match(token):
+                raise FormulaError(f"bad variable name {token!r} in quantifier prefix")
+            extra_variables.append(token)
+
+    atoms: List[QueryAtom] = []
+    consumed_spans: List[Tuple[int, int]] = []
+    for match in _ATOM_PATTERN.finditer(body):
+        relation, arguments = match.groups()
+        variables = [token.strip() for token in arguments.split(",") if token.strip()]
+        if not variables:
+            raise FormulaError(f"atom {relation!r} has no arguments")
+        for variable in variables:
+            if not _NAME_PATTERN.match(variable):
+                raise FormulaError(f"bad variable name {variable!r}")
+        atoms.append(QueryAtom(relation, tuple(variables)))
+        consumed_spans.append(match.span())
+
+    # Everything outside atoms must be separators / whitespace.
+    leftover = body
+    for start, end in reversed(consumed_spans):
+        leftover = leftover[:start] + leftover[end:]
+    if re.sub(r"[\s,&∧]+", "", leftover):
+        raise FormulaError(f"could not parse query fragment {leftover.strip()!r}")
+    if not atoms and not extra_variables:
+        raise FormulaError("query has neither atoms nor variables")
+    return ConjunctiveQuery(atoms, extra_variables=extra_variables)

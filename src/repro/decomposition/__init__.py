@@ -1,0 +1,93 @@
+"""Width measures and decompositions (Section 2.2 of the paper).
+
+Provides tree and path decompositions with validation, nice tree
+decompositions, exact treewidth / pathwidth / tree depth for small graphs,
+heuristic orderings for larger ones, elimination forests witnessing tree
+depth, and a structure-level facade (:mod:`repro.decomposition.width`).
+"""
+
+from repro.decomposition.exact import (
+    exact_pathwidth,
+    exact_pathwidth_layout,
+    exact_treewidth,
+    exact_treewidth_ordering,
+)
+from repro.decomposition.heuristics import (
+    bfs_layout,
+    min_degree_ordering,
+    min_fill_ordering,
+    ordering_width,
+    vertex_separation_of_layout,
+)
+from repro.decomposition.nice import NiceNode, NiceTreeDecomposition, make_nice
+from repro.decomposition.path_decomposition import (
+    PathDecomposition,
+    path_decomposition_from_ordering,
+    path_decomposition_of_path,
+    strictly_alternating,
+)
+from repro.decomposition.tree_decomposition import (
+    TreeDecomposition,
+    decomposition_of_forest,
+)
+from repro.decomposition.treedepth import (
+    EliminationForest,
+    dfs_elimination_forest,
+    exact_elimination_forest,
+    exact_treedepth,
+    treedepth_upper_bound,
+)
+from repro.decomposition.width import (
+    EXACT_SIZE_LIMIT,
+    good_path_decomposition,
+    good_tree_decomposition,
+    graph_pathwidth,
+    graph_treedepth,
+    graph_treewidth,
+    optimal_elimination_forest,
+    optimal_path_decomposition,
+    optimal_tree_decomposition,
+    pathwidth,
+    treedepth,
+    treewidth,
+    width_profile,
+)
+
+__all__ = [
+    "TreeDecomposition",
+    "decomposition_of_forest",
+    "PathDecomposition",
+    "path_decomposition_from_ordering",
+    "path_decomposition_of_path",
+    "strictly_alternating",
+    "NiceNode",
+    "NiceTreeDecomposition",
+    "make_nice",
+    "EliminationForest",
+    "exact_elimination_forest",
+    "dfs_elimination_forest",
+    "exact_treedepth",
+    "treedepth_upper_bound",
+    "exact_treewidth",
+    "exact_treewidth_ordering",
+    "exact_pathwidth",
+    "exact_pathwidth_layout",
+    "min_degree_ordering",
+    "min_fill_ordering",
+    "ordering_width",
+    "bfs_layout",
+    "vertex_separation_of_layout",
+    "treewidth",
+    "pathwidth",
+    "treedepth",
+    "graph_treewidth",
+    "graph_pathwidth",
+    "graph_treedepth",
+    "optimal_tree_decomposition",
+    "optimal_path_decomposition",
+    "optimal_elimination_forest",
+    "good_tree_decomposition",
+    "good_path_decomposition",
+    "width_profile",
+    "EXACT_SIZE_LIMIT",
+]

@@ -1,0 +1,116 @@
+"""Heuristic orderings for treewidth / pathwidth upper bounds.
+
+The classifier only needs *exact* widths on the (small, parameter-sized)
+left-hand structures, but the benchmark workloads also exercise larger
+graphs where exact computation is infeasible; these heuristics provide the
+standard min-degree and min-fill elimination orderings and a BFS-based
+ordering for path decompositions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.exceptions import DecompositionError
+from repro.graphlib.graph import Graph
+from repro.graphlib.traversal import bfs_order
+
+Vertex = Hashable
+
+
+def min_degree_ordering(graph: Graph) -> List[Vertex]:
+    """Return an elimination ordering choosing a minimum-degree vertex each step."""
+    if len(graph) == 0:
+        raise DecompositionError("cannot order the empty graph")
+    adjacency: Dict[Vertex, set] = {v: set(graph.neighbors(v)) for v in graph.vertices}
+    remaining = set(graph.vertices)
+    ordering: List[Vertex] = []
+    while remaining:
+        vertex = min(remaining, key=lambda v: (len(adjacency[v] & remaining), repr(v)))
+        ordering.append(vertex)
+        neighbours = sorted(adjacency[vertex] & remaining, key=repr)
+        for i, a in enumerate(neighbours):
+            for b in neighbours[i + 1:]:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        remaining.remove(vertex)
+    return ordering
+
+
+def min_fill_ordering(graph: Graph) -> List[Vertex]:
+    """Return an elimination ordering choosing a minimum-fill vertex each step."""
+    if len(graph) == 0:
+        raise DecompositionError("cannot order the empty graph")
+    adjacency: Dict[Vertex, set] = {v: set(graph.neighbors(v)) for v in graph.vertices}
+    remaining = set(graph.vertices)
+    ordering: List[Vertex] = []
+
+    def fill_count(vertex: Vertex) -> int:
+        neighbours = [u for u in adjacency[vertex] if u in remaining]
+        missing = 0
+        for i, a in enumerate(neighbours):
+            for b in neighbours[i + 1:]:
+                if b not in adjacency[a]:
+                    missing += 1
+        return missing
+
+    while remaining:
+        vertex = min(remaining, key=lambda v: (fill_count(v), repr(v)))
+        ordering.append(vertex)
+        neighbours = sorted(adjacency[vertex] & remaining, key=repr)
+        for i, a in enumerate(neighbours):
+            for b in neighbours[i + 1:]:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        remaining.remove(vertex)
+    return ordering
+
+
+def ordering_width(graph: Graph, ordering: List[Vertex]) -> int:
+    """Return the width of an elimination ordering (treewidth upper bound)."""
+    position = {v: i for i, v in enumerate(ordering)}
+    adjacency: Dict[Vertex, set] = {v: set(graph.neighbors(v)) for v in graph.vertices}
+    width = 0
+    for v in ordering:
+        later = {u for u in adjacency[v] if position[u] > position[v]}
+        width = max(width, len(later))
+        later_list = sorted(later, key=repr)
+        for i, a in enumerate(later_list):
+            for b in later_list[i + 1:]:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+    return width
+
+
+def bfs_layout(graph: Graph) -> List[Vertex]:
+    """Return a BFS-based linear layout (a pathwidth-upper-bound ordering).
+
+    BFS layouts are exact for paths and caterpillars and a reasonable
+    heuristic elsewhere.
+    """
+    if len(graph) == 0:
+        raise DecompositionError("cannot lay out the empty graph")
+    remaining = set(graph.vertices)
+    layout: List[Vertex] = []
+    while remaining:
+        # Start each component from a vertex of minimum degree (an endpoint
+        # for paths) to keep the frontier small.
+        start = min(remaining, key=lambda v: (graph.degree(v), repr(v)))
+        component_order = bfs_order(graph.subgraph(remaining), start)
+        layout.extend(component_order)
+        remaining -= set(component_order)
+    return layout
+
+
+def vertex_separation_of_layout(graph: Graph, layout: List[Vertex]) -> int:
+    """Return the vertex separation number of a layout (pathwidth upper bound)."""
+    position = {v: i for i, v in enumerate(layout)}
+    worst = 0
+    for i in range(len(layout)):
+        boundary = {
+            u
+            for u in layout[: i + 1]
+            if any(position[w] > i for w in graph.neighbors(u))
+        }
+        worst = max(worst, len(boundary))
+    return worst

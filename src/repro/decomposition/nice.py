@@ -1,0 +1,140 @@
+"""Nice tree decompositions.
+
+A *nice* tree decomposition is rooted and every node is one of:
+
+* a **leaf** node with an empty bag,
+* an **introduce** node with exactly one child whose bag misses exactly one
+  vertex of the node's bag,
+* a **forget** node with exactly one child whose bag has exactly one extra
+  vertex,
+* a **join** node with exactly two children carrying the same bag.
+
+Nice decompositions are the standard shape for dynamic-programming
+algorithms; the counting DP of :mod:`repro.counting.decomposition_counting`
+can run on them and the tests cross-check it against the generic DP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.exceptions import DecompositionError
+from repro.decomposition.tree_decomposition import TreeDecomposition
+
+Vertex = Hashable
+
+
+@dataclass
+class NiceNode:
+    """A node of a nice tree decomposition."""
+
+    kind: str  # "leaf" | "introduce" | "forget" | "join"
+    bag: FrozenSet[Vertex]
+    children: List["NiceNode"] = field(default_factory=list)
+    vertex: Optional[Vertex] = None  # the introduced / forgotten vertex
+
+    def validate(self) -> None:
+        """Check local well-formedness of the node."""
+        if self.kind == "leaf":
+            if self.bag or self.children:
+                raise DecompositionError("leaf nodes must have empty bags and no children")
+        elif self.kind == "introduce":
+            if len(self.children) != 1 or self.vertex is None:
+                raise DecompositionError("introduce nodes need one child and a vertex")
+            if self.bag != self.children[0].bag | {self.vertex} or self.vertex in self.children[0].bag:
+                raise DecompositionError("introduce node bag mismatch")
+        elif self.kind == "forget":
+            if len(self.children) != 1 or self.vertex is None:
+                raise DecompositionError("forget nodes need one child and a vertex")
+            if self.children[0].bag != self.bag | {self.vertex} or self.vertex in self.bag:
+                raise DecompositionError("forget node bag mismatch")
+        elif self.kind == "join":
+            if len(self.children) != 2:
+                raise DecompositionError("join nodes need exactly two children")
+            if any(child.bag != self.bag for child in self.children):
+                raise DecompositionError("join node children must share the bag")
+        else:
+            raise DecompositionError(f"unknown nice node kind {self.kind!r}")
+
+
+class NiceTreeDecomposition:
+    """A rooted nice tree decomposition."""
+
+    def __init__(self, root: NiceNode) -> None:
+        self._root = root
+        for node in self.postorder():
+            node.validate()
+
+    @property
+    def root(self) -> NiceNode:
+        """The root node."""
+        return self._root
+
+    def postorder(self) -> List[NiceNode]:
+        """Return nodes in post-order (children before parents)."""
+        order: List[NiceNode] = []
+
+        def walk(node: NiceNode) -> None:
+            for child in node.children:
+                walk(child)
+            order.append(node)
+
+        walk(self._root)
+        return order
+
+    def width(self) -> int:
+        """Return the width (max bag size − 1; −1 for an all-empty decomposition)."""
+        return max(len(node.bag) for node in self.postorder()) - 1
+
+    def number_of_nodes(self) -> int:
+        """Return the total number of nodes."""
+        return len(self.postorder())
+
+
+def _chain_down(bag_from: FrozenSet[Vertex], bag_to: FrozenSet[Vertex], child: NiceNode) -> NiceNode:
+    """Build a chain of introduce/forget nodes transforming ``bag_to`` (at
+    ``child``) into ``bag_from`` on top."""
+    current = child
+    current_bag = bag_to
+    # forget vertices not in bag_from
+    for vertex in sorted(bag_to - bag_from, key=repr):
+        current_bag = current_bag - {vertex}
+        current = NiceNode("forget", current_bag, [current], vertex)
+    # introduce vertices of bag_from missing so far
+    for vertex in sorted(bag_from - bag_to, key=repr):
+        current_bag = current_bag | {vertex}
+        current = NiceNode("introduce", current_bag, [current], vertex)
+    return current
+
+
+def make_nice(decomposition: TreeDecomposition) -> NiceTreeDecomposition:
+    """Convert an arbitrary tree decomposition into a nice one.
+
+    The conversion roots the decomposition at an arbitrary node, inserts
+    introduce/forget chains along every tree edge, binarises high-degree
+    nodes with join nodes, and finally forgets the root bag down to the
+    empty bag so the root is a standard empty-bag root.
+    """
+    tree = decomposition.tree
+    root_node = min(tree.vertices, key=repr)
+
+    def build(node: Hashable, parent: Optional[Hashable]) -> NiceNode:
+        bag = decomposition.bag(node)
+        children = [child for child in tree.neighbors(node) if child != parent]
+        if not children:
+            base: NiceNode = _chain_down(bag, frozenset(), NiceNode("leaf", frozenset()))
+            return base
+        built: List[NiceNode] = []
+        for child in sorted(children, key=repr):
+            sub = build(child, node)
+            built.append(_chain_down(bag, decomposition.bag(child), sub))
+        while len(built) > 1:
+            left = built.pop()
+            right = built.pop()
+            built.append(NiceNode("join", bag, [left, right]))
+        return built[0]
+
+    body = build(root_node, None)
+    top = _chain_down(frozenset(), decomposition.bag(root_node), body)
+    return NiceTreeDecomposition(top)

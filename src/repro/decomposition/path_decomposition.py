@@ -1,0 +1,198 @@
+"""Path decompositions.
+
+A path decomposition is a tree decomposition whose tree is a path
+(Section 2.2).  The canonical way to produce one is from a linear vertex
+ordering: the bag at position ``i`` contains ``v_i`` together with every
+earlier vertex that still has a neighbour at position ``≥ i``.  The width
+obtained this way equals the *vertex separation number* of the ordering,
+and minimising over orderings gives exactly the pathwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Sequence
+
+from repro.exceptions import DecompositionError
+from repro.graphlib.graph import Graph
+from repro.decomposition.tree_decomposition import TreeDecomposition
+
+Vertex = Hashable
+
+
+class PathDecomposition:
+    """A path decomposition: an ordered sequence of bags."""
+
+    def __init__(self, bags: Sequence[FrozenSet[Vertex]]) -> None:
+        if not bags:
+            raise DecompositionError("a path decomposition needs at least one bag")
+        self._bags: List[FrozenSet[Vertex]] = [frozenset(bag) for bag in bags]
+
+    @property
+    def bags(self) -> List[FrozenSet[Vertex]]:
+        """The bags in path order."""
+        return list(self._bags)
+
+    def width(self) -> int:
+        """Return the width: maximum bag size minus one."""
+        return max(len(bag) for bag in self._bags) - 1
+
+    def __len__(self) -> int:
+        return len(self._bags)
+
+    def covered_vertices(self) -> FrozenSet[Vertex]:
+        """Return the union of the bags."""
+        covered: set = set()
+        for bag in self._bags:
+            covered |= bag
+        return frozenset(covered)
+
+    # -- validation --------------------------------------------------------
+    def validate(self, graph: Graph) -> None:
+        """Raise unless this is a path decomposition of ``graph``."""
+        if self.covered_vertices() != graph.vertices:
+            raise DecompositionError("bags do not cover exactly the graph's vertices")
+        for u, v in graph.edge_pairs():
+            if not any({u, v} <= bag for bag in self._bags):
+                raise DecompositionError(f"edge ({u!r}, {v!r}) is in no bag")
+        for vertex in graph.vertices:
+            indices = [i for i, bag in enumerate(self._bags) if vertex in bag]
+            if indices and indices != list(range(indices[0], indices[-1] + 1)):
+                raise DecompositionError(
+                    f"bags containing {vertex!r} are not consecutive"
+                )
+
+    def is_valid_for(self, graph: Graph) -> bool:
+        """Return True when :meth:`validate` passes."""
+        try:
+            self.validate(graph)
+        except DecompositionError:
+            return False
+        return True
+
+    # -- conversions ----------------------------------------------------------
+    def as_tree_decomposition(self) -> TreeDecomposition:
+        """Return the equivalent :class:`TreeDecomposition` on a path of nodes."""
+        nodes = list(range(len(self._bags)))
+        edges = [(i, i + 1) for i in range(len(self._bags) - 1)]
+        tree = Graph(nodes, edges)
+        return TreeDecomposition(tree, dict(enumerate(self._bags)))
+
+    def normalized(self) -> "PathDecomposition":
+        """Return a copy with consecutive duplicate / contained bags merged.
+
+        Also ensures consecutive bags differ by a proper inclusion in one
+        direction or the other, the shape assumed by the PATH-membership
+        algorithm of Theorem 4.6.
+        """
+        bags: List[FrozenSet[Vertex]] = []
+        for bag in self._bags:
+            if bags and (bag <= bags[-1] or bags[-1] <= bag):
+                if bag <= bags[-1]:
+                    continue
+                bags[-1] = bag if bags[-1] <= bag else bags[-1]
+                continue
+            bags.append(bag)
+        return PathDecomposition(bags or [self._bags[0]])
+
+    def interleaved(self) -> "PathDecomposition":
+        """Return an equivalent decomposition where consecutive bags are comparable.
+
+        Between two incomparable consecutive bags ``X`` and ``Y`` insert
+        their intersection... actually inserting ``X ∩ Y`` would break edge
+        coverage only if empty; the standard trick is to insert ``X ∩ Y``
+        which is contained in both.  Theorem 4.6 assumes ``X_i ⊊ X_{i+1}``
+        or ``X_{i+1} ⊊ X_i``; this method produces that shape (dropping
+        exact-duplicate neighbours).
+        """
+        bags: List[FrozenSet[Vertex]] = []
+        previous: FrozenSet[Vertex] | None = None
+        for bag in self._bags:
+            if previous is not None and bag != previous:
+                if not (bag < previous or previous < bag):
+                    middle = previous & bag
+                    if middle and middle != previous and middle != bag:
+                        bags.append(middle)
+            if previous is None or bag != previous:
+                bags.append(bag)
+                previous = bag
+        return PathDecomposition(bags)
+
+    def __repr__(self) -> str:
+        return f"PathDecomposition(bags={len(self._bags)}, width={self.width()})"
+
+
+def path_decomposition_from_ordering(
+    graph: Graph, ordering: Sequence[Vertex]
+) -> PathDecomposition:
+    """Build a path decomposition from a linear vertex ordering.
+
+    Bag ``i`` holds ``v_i`` plus every ``v_j`` with ``j ≤ i`` that has a
+    neighbour ``v_l`` with ``l ≥ i``.  The width equals the vertex
+    separation number of the ordering.
+    """
+    order = list(ordering)
+    if set(order) != set(graph.vertices):
+        raise DecompositionError("ordering must enumerate exactly the graph's vertices")
+    if not order:
+        raise DecompositionError("cannot decompose the empty graph")
+    position: Dict[Vertex, int] = {v: i for i, v in enumerate(order)}
+    bags: List[FrozenSet[Vertex]] = []
+    for i, v in enumerate(order):
+        bag = {v}
+        for j in range(i):
+            u = order[j]
+            if any(position[w] >= i for w in graph.neighbors(u)):
+                bag.add(u)
+        bags.append(frozenset(bag))
+    decomposition = PathDecomposition(bags)
+    decomposition.validate(graph)
+    return decomposition
+
+
+def path_decomposition_of_path(graph: Graph) -> PathDecomposition:
+    """Return the natural width-1 path decomposition of a path graph."""
+    from repro.graphlib.components import is_path_graph
+
+    if not is_path_graph(graph):
+        raise DecompositionError("graph is not a path")
+    endpoints = [v for v in graph.vertices if graph.degree(v) <= 1]
+    start = min(endpoints, key=repr)
+    order = [start]
+    seen = {start}
+    while len(order) < len(graph):
+        current = order[-1]
+        next_candidates = [v for v in graph.neighbors(current) if v not in seen]
+        if not next_candidates:
+            break
+        order.append(next_candidates[0])
+        seen.add(next_candidates[0])
+    if len(order) == 1:
+        return PathDecomposition([frozenset(order)])
+    bags = [frozenset((order[i], order[i + 1])) for i in range(len(order) - 1)]
+    return PathDecomposition(bags)
+
+
+def strictly_alternating(bags: Sequence[FrozenSet[Vertex]]) -> List[FrozenSet[Vertex]]:
+    """Normalise bags so consecutive bags are strictly comparable and distinct.
+
+    Used by the Theorem 4.6 machine: between arbitrary consecutive bags
+    ``X`` and ``Y`` insert ``X ∩ Y`` when needed, drop duplicates, and drop
+    empty bags (unless the result would be empty).
+    """
+    result: List[FrozenSet[Vertex]] = []
+    for bag in bags:
+        if not result:
+            result.append(bag)
+            continue
+        previous = result[-1]
+        if bag == previous:
+            continue
+        if bag < previous or previous < bag:
+            result.append(bag)
+            continue
+        middle = previous & bag
+        if middle:
+            result.append(middle)
+        result.append(bag)
+    cleaned = [bag for bag in result if bag]
+    return cleaned or [bags[0]]

@@ -1,0 +1,248 @@
+"""Tree decompositions (Section 2.2 of the paper).
+
+A tree decomposition of a graph ``G`` is a pair of a tree ``T`` and a
+family of bags ``X_t ⊆ G`` such that (i) every vertex lies in some bag,
+(ii) every edge lies inside some bag, and (iii) for every vertex the set of
+tree nodes whose bag contains it is connected in ``T``.  Its width is the
+maximum bag size minus one.
+
+The class :class:`TreeDecomposition` stores the tree (as a
+:class:`~repro.graphlib.graph.Graph`) together with the bag map and knows
+how to validate itself against a graph; validation is used heavily by the
+property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import DecompositionError
+from repro.graphlib.components import connected_components, is_connected, is_path_graph, is_tree
+from repro.graphlib.graph import Graph
+from repro.structures.gaifman import gaifman_graph
+from repro.structures.structure import Structure
+
+Vertex = Hashable
+Bag = FrozenSet[Vertex]
+
+
+class TreeDecomposition:
+    """A tree decomposition: a tree of nodes, each carrying a bag of vertices."""
+
+    def __init__(self, tree: Graph, bags: Mapping[Hashable, Iterable[Vertex]]) -> None:
+        if len(tree) == 0:
+            raise DecompositionError("a tree decomposition needs at least one node")
+        if not is_tree(tree):
+            raise DecompositionError("the decomposition's node graph must be a tree")
+        if set(bags) != set(tree.vertices):
+            raise DecompositionError("bags must be given for exactly the tree nodes")
+        self._tree = tree
+        self._bags: Dict[Hashable, Bag] = {node: frozenset(bag) for node, bag in bags.items()}
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def tree(self) -> Graph:
+        """The underlying tree of decomposition nodes."""
+        return self._tree
+
+    @property
+    def bags(self) -> Dict[Hashable, Bag]:
+        """A copy of the node → bag mapping."""
+        return dict(self._bags)
+
+    def bag(self, node: Hashable) -> Bag:
+        """Return the bag at ``node``."""
+        try:
+            return self._bags[node]
+        except KeyError:
+            raise DecompositionError(f"unknown decomposition node {node!r}") from None
+
+    def nodes(self) -> List[Hashable]:
+        """Return the decomposition nodes in a deterministic order."""
+        return sorted(self._tree.vertices, key=repr)
+
+    def width(self) -> int:
+        """Return the width: maximum bag size minus one."""
+        return max(len(bag) for bag in self._bags.values()) - 1
+
+    def covered_vertices(self) -> FrozenSet[Vertex]:
+        """Return the union of all bags."""
+        covered: set = set()
+        for bag in self._bags.values():
+            covered |= bag
+        return frozenset(covered)
+
+    def is_path_decomposition(self) -> bool:
+        """Return True when the decomposition tree is a path."""
+        return is_path_graph(self._tree)
+
+    # -- validation -----------------------------------------------------------
+    def validate(self, graph: Graph) -> None:
+        """Raise :class:`DecompositionError` unless this decomposes ``graph``."""
+        covered = self.covered_vertices()
+        if covered != graph.vertices:
+            missing = graph.vertices - covered
+            extra = covered - graph.vertices
+            raise DecompositionError(
+                f"vertex coverage violated (missing={set(missing)!r}, extra={set(extra)!r})"
+            )
+        for u, v in graph.edge_pairs():
+            if not any({u, v} <= bag for bag in self._bags.values()):
+                raise DecompositionError(f"edge ({u!r}, {v!r}) is in no bag")
+        for vertex in graph.vertices:
+            nodes_with_vertex = [
+                node for node, bag in self._bags.items() if vertex in bag
+            ]
+            induced = self._tree.subgraph(nodes_with_vertex)
+            if len(nodes_with_vertex) > 0 and not is_connected(induced):
+                raise DecompositionError(
+                    f"bags containing {vertex!r} do not induce a connected subtree"
+                )
+
+    def is_valid_for(self, graph: Graph) -> bool:
+        """Return True when :meth:`validate` passes for ``graph``."""
+        try:
+            self.validate(graph)
+        except DecompositionError:
+            return False
+        return True
+
+    def validate_for_structure(self, structure: Structure) -> None:
+        """Validate against the Gaifman graph of a structure."""
+        self.validate(gaifman_graph(structure))
+
+    # -- constructions ----------------------------------------------------------
+    @classmethod
+    def trivial(cls, graph: Graph) -> "TreeDecomposition":
+        """Return the one-bag decomposition containing every vertex."""
+        tree = Graph([0])
+        return cls(tree, {0: graph.vertices})
+
+    @classmethod
+    def from_elimination_ordering(
+        cls, graph: Graph, ordering: Sequence[Vertex]
+    ) -> "TreeDecomposition":
+        """Build a tree decomposition from a vertex elimination ordering.
+
+        This is the classical construction: eliminate vertices in order,
+        making each vertex's remaining neighbourhood a clique; the bag of a
+        vertex is itself plus that neighbourhood, and it is attached to the
+        bag of the first of its higher neighbours.  The resulting width is
+        the width of the ordering (an upper bound on treewidth, exact when
+        the ordering is perfect).
+        """
+        order = list(ordering)
+        if set(order) != set(graph.vertices):
+            raise DecompositionError("ordering must enumerate exactly the graph's vertices")
+        if not order:
+            raise DecompositionError("cannot decompose the empty graph")
+        position = {v: i for i, v in enumerate(order)}
+        # Work on a mutable adjacency copy; fill edges as we eliminate.
+        adjacency: Dict[Vertex, set] = {v: set(graph.neighbors(v)) for v in graph.vertices}
+        bags: Dict[Hashable, set] = {}
+        attach_to: Dict[Vertex, Vertex] = {}
+        for v in order:
+            later = {u for u in adjacency[v] if position[u] > position[v]}
+            bags[v] = {v} | later
+            if later:
+                attach_to[v] = min(later, key=lambda u: position[u])
+            # make the later neighbourhood a clique
+            later_list = sorted(later, key=repr)
+            for i, a in enumerate(later_list):
+                for b in later_list[i + 1:]:
+                    adjacency[a].add(b)
+                    adjacency[b].add(a)
+        edges = []
+        for v, parent in attach_to.items():
+            edges.append((v, parent))
+        # Vertices with no later neighbour form separate roots; connect them
+        # in a chain so the node graph is a tree (bags are unchanged so the
+        # decomposition conditions still hold: connecting roots never breaks
+        # the connected-subtree property because their bags are disjoint
+        # from each other's vertices only through shared vertices already
+        # handled by attach_to).
+        roots = [v for v in order if v not in attach_to]
+        for a, b in zip(roots, roots[1:]):
+            edges.append((a, b))
+        tree = Graph(order, edges)
+        decomposition = cls(tree, bags)
+        decomposition.validate(graph)
+        return decomposition
+
+    def restrict_to(self, vertices: Iterable[Vertex]) -> "TreeDecomposition":
+        """Return the decomposition with every bag intersected with ``vertices``.
+
+        The result decomposes the induced subgraph on ``vertices`` (bags may
+        become empty, which is fine).
+        """
+        keep = frozenset(vertices)
+        return TreeDecomposition(
+            self._tree, {node: bag & keep for node, bag in self._bags.items()}
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeDecomposition(nodes={len(self._tree)}, width={self.width()})"
+        )
+
+
+def decomposition_of_forest(graph: Graph) -> TreeDecomposition:
+    """Return a width-1 tree decomposition of a forest.
+
+    Each edge becomes a bag of size two; isolated vertices get singleton
+    bags; the bags are wired following the forest itself.  Used by the
+    benchmarks as the "known-optimal" decomposition for tree-shaped
+    patterns.
+    """
+    if len(graph) == 0:
+        raise DecompositionError("cannot decompose the empty graph")
+    nodes: List[Hashable] = []
+    bags: Dict[Hashable, Iterable[Vertex]] = {}
+    edges: List[Tuple[Hashable, Hashable]] = []
+    for component in connected_components(graph):
+        component_graph = graph.subgraph(component)
+        root = min(component, key=repr)
+        if len(component) == 1:
+            nodes.append(("v", root))
+            bags[("v", root)] = {root}
+            continue
+        # BFS over the component, one node per edge.
+        parent: Dict[Vertex, Vertex] = {}
+        order = [root]
+        seen = {root}
+        index = 0
+        while index < len(order):
+            current = order[index]
+            index += 1
+            for neighbour in sorted(component_graph.neighbors(current), key=repr):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    parent[neighbour] = current
+                    order.append(neighbour)
+        for child, par in parent.items():
+            node = ("e", par, child)
+            nodes.append(node)
+            bags[node] = {par, child}
+        for child, par in parent.items():
+            if par in parent:
+                edges.append((("e", parent[par], par), ("e", par, child)))
+        # connect children of the root to each other via the root's first edge
+        root_children = sorted(
+            [child for child, par in parent.items() if par == root], key=repr
+        )
+        for a, b in zip(root_children, root_children[1:]):
+            edges.append((("e", root, a), ("e", root, b)))
+    # connect the components' pieces into a single tree
+    component_anchors = []
+    seen_nodes = set()
+    tree = Graph(nodes, edges)
+    for component in connected_components(tree):
+        anchor = min(component, key=repr)
+        component_anchors.append(anchor)
+        seen_nodes |= component
+    extra_edges = list(edges)
+    for a, b in zip(component_anchors, component_anchors[1:]):
+        extra_edges.append((a, b))
+    decomposition = TreeDecomposition(Graph(nodes, extra_edges), bags)
+    decomposition.validate(graph)
+    return decomposition

@@ -1,0 +1,151 @@
+"""Width-measure facade for structures.
+
+Convenience functions computing treewidth, pathwidth and tree depth of a
+relational structure (via its Gaifman graph), choosing between the exact
+algorithms (small graphs) and the heuristics (large graphs).  The
+classification machinery uses the exact variants — the left-hand structures
+of ``p-HOM`` are parameter-sized — while benchmark workloads may opt into
+the heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.decomposition.exact import (
+    exact_pathwidth,
+    exact_pathwidth_layout,
+    exact_treewidth,
+    exact_treewidth_ordering,
+)
+from repro.decomposition.heuristics import (
+    bfs_layout,
+    min_fill_ordering,
+    ordering_width,
+    vertex_separation_of_layout,
+)
+from repro.decomposition.path_decomposition import (
+    PathDecomposition,
+    path_decomposition_from_ordering,
+)
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.decomposition.treedepth import (
+    EliminationForest,
+    exact_elimination_forest,
+    exact_treedepth,
+    treedepth_upper_bound,
+)
+from repro.graphlib.graph import Graph
+from repro.structures.gaifman import gaifman_graph
+from repro.structures.structure import Structure
+
+#: Above this many vertices the facade switches from exact to heuristic.
+#: The exact algorithms are subset dynamic programs, so 12 vertices (4096
+#: subsets) keeps them interactive while covering every parameter-sized
+#: pattern the tests and benchmarks use.
+EXACT_SIZE_LIMIT = 12
+
+
+def treewidth(structure: Structure, exact: bool | None = None) -> int:
+    """Return (an upper bound on) the treewidth of the structure.
+
+    ``exact=None`` picks the exact algorithm when the Gaifman graph has at
+    most :data:`EXACT_SIZE_LIMIT` vertices and the min-fill heuristic
+    otherwise.
+    """
+    graph = gaifman_graph(structure)
+    return graph_treewidth(graph, exact)
+
+
+def graph_treewidth(graph: Graph, exact: bool | None = None) -> int:
+    """Treewidth of a graph, exact or heuristic (see :func:`treewidth`)."""
+    if exact is None:
+        exact = len(graph) <= EXACT_SIZE_LIMIT
+    if exact:
+        return exact_treewidth(graph)
+    return ordering_width(graph, min_fill_ordering(graph))
+
+
+def pathwidth(structure: Structure, exact: bool | None = None) -> int:
+    """Return (an upper bound on) the pathwidth of the structure."""
+    graph = gaifman_graph(structure)
+    return graph_pathwidth(graph, exact)
+
+
+def graph_pathwidth(graph: Graph, exact: bool | None = None) -> int:
+    """Pathwidth of a graph, exact or heuristic."""
+    if exact is None:
+        exact = len(graph) <= EXACT_SIZE_LIMIT
+    if exact:
+        return exact_pathwidth(graph)
+    layout = bfs_layout(graph)
+    return vertex_separation_of_layout(graph, layout)
+
+
+def treedepth(structure: Structure, exact: bool | None = None) -> int:
+    """Return (an upper bound on) the tree depth of the structure."""
+    graph = gaifman_graph(structure)
+    return graph_treedepth(graph, exact)
+
+
+def graph_treedepth(graph: Graph, exact: bool | None = None) -> int:
+    """Tree depth of a graph, exact or heuristic."""
+    if exact is None:
+        exact = len(graph) <= EXACT_SIZE_LIMIT
+    if exact:
+        return exact_treedepth(graph)
+    return treedepth_upper_bound(graph)
+
+
+def optimal_tree_decomposition(structure: Structure) -> TreeDecomposition:
+    """Return a width-optimal tree decomposition of the structure's Gaifman graph."""
+    graph = gaifman_graph(structure)
+    _, ordering = exact_treewidth_ordering(graph)
+    return TreeDecomposition.from_elimination_ordering(graph, ordering)
+
+
+def optimal_path_decomposition(structure: Structure) -> PathDecomposition:
+    """Return a width-optimal path decomposition of the structure's Gaifman graph."""
+    graph = gaifman_graph(structure)
+    _, layout = exact_pathwidth_layout(graph)
+    return path_decomposition_from_ordering(graph, layout)
+
+
+def optimal_elimination_forest(structure: Structure) -> EliminationForest:
+    """Return a height-optimal elimination forest of the structure's Gaifman graph."""
+    return exact_elimination_forest(gaifman_graph(structure))
+
+
+def good_tree_decomposition(structure: Structure) -> TreeDecomposition:
+    """Return a tree decomposition: optimal for small Gaifman graphs, min-fill otherwise."""
+    graph = gaifman_graph(structure)
+    if len(graph) <= EXACT_SIZE_LIMIT:
+        _, ordering = exact_treewidth_ordering(graph)
+    else:
+        ordering = min_fill_ordering(graph)
+    return TreeDecomposition.from_elimination_ordering(graph, ordering)
+
+
+def good_path_decomposition(structure: Structure) -> PathDecomposition:
+    """Return a path decomposition: optimal for small Gaifman graphs, BFS layout otherwise."""
+    graph = gaifman_graph(structure)
+    if len(graph) <= EXACT_SIZE_LIMIT:
+        _, layout = exact_pathwidth_layout(graph)
+    else:
+        layout = bfs_layout(graph)
+    return path_decomposition_from_ordering(graph, layout)
+
+
+def width_profile(structure: Structure, exact: bool | None = None) -> Tuple[int, int, int]:
+    """Return ``(treewidth, pathwidth, tree depth)`` of the structure.
+
+    Exact for Gaifman graphs of at most :data:`EXACT_SIZE_LIMIT` vertices
+    (or when ``exact=True`` is forced), heuristic upper bounds beyond that
+    — the same policy as the individual facade functions.
+    """
+    graph = gaifman_graph(structure)
+    return (
+        graph_treewidth(graph, exact),
+        graph_pathwidth(graph, exact),
+        graph_treedepth(graph, exact),
+    )

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class.  Each subclass documents the subsystem that
+raises it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class VocabularyError(ReproError):
+    """A relation symbol was used inconsistently with its vocabulary.
+
+    Raised when a relation tuple has the wrong arity, an unknown symbol is
+    interpreted, or two structures with incompatible vocabularies are
+    combined.
+    """
+
+
+class StructureError(ReproError):
+    """A relational structure is malformed (empty universe, bad tuples)."""
+
+
+class DecompositionError(ReproError):
+    """A tree or path decomposition violates its defining conditions."""
+
+
+class FormulaError(ReproError):
+    """A first-order formula is malformed or used outside its contract."""
+
+
+class MachineError(ReproError):
+    """A Turing machine specification or simulation is invalid."""
+
+
+class ResourceExceededError(MachineError):
+    """A simulated machine exceeded its declared space or guess budget."""
+
+
+class ReductionError(ReproError):
+    """A reduction was applied to an instance outside its domain."""
+
+
+class ClassificationError(ReproError):
+    """A query class could not be classified (e.g. unbounded arity)."""

@@ -1,0 +1,53 @@
+"""Lightweight graph substrate.
+
+The decomposition, minor, and classification machinery all operate on plain
+undirected graphs (the Gaifman graphs of relational structures).  This
+package provides a small, dependency-free graph type plus the traversal and
+connectivity helpers the rest of the library needs.
+
+The public surface is:
+
+* :class:`~repro.graphlib.graph.Graph` — immutable undirected graph.
+* :class:`~repro.graphlib.graph.DiGraph` — immutable directed graph.
+* :func:`~repro.graphlib.traversal.bfs_order`,
+  :func:`~repro.graphlib.traversal.dfs_order`,
+  :func:`~repro.graphlib.traversal.shortest_path_lengths`,
+  :func:`~repro.graphlib.traversal.shortest_path` — traversals.
+* :func:`~repro.graphlib.components.connected_components`,
+  :func:`~repro.graphlib.components.is_connected`,
+  :func:`~repro.graphlib.components.is_tree`,
+  :func:`~repro.graphlib.components.is_path_graph`,
+  :func:`~repro.graphlib.components.is_cycle_graph`,
+  :func:`~repro.graphlib.components.is_acyclic` — structure predicates.
+"""
+
+from repro.graphlib.components import (
+    connected_components,
+    is_acyclic,
+    is_connected,
+    is_cycle_graph,
+    is_path_graph,
+    is_tree,
+)
+from repro.graphlib.graph import DiGraph, Graph
+from repro.graphlib.traversal import (
+    bfs_order,
+    dfs_order,
+    shortest_path,
+    shortest_path_lengths,
+)
+
+__all__ = [
+    "Graph",
+    "DiGraph",
+    "bfs_order",
+    "dfs_order",
+    "shortest_path",
+    "shortest_path_lengths",
+    "connected_components",
+    "is_connected",
+    "is_tree",
+    "is_path_graph",
+    "is_cycle_graph",
+    "is_acyclic",
+]

@@ -1,0 +1,74 @@
+"""Connectivity and shape predicates for undirected graphs."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, List
+
+from repro.graphlib.graph import Graph
+from repro.graphlib.traversal import bfs_order
+
+Vertex = Hashable
+
+
+def connected_components(graph: Graph) -> List[FrozenSet[Vertex]]:
+    """Return the connected components as a list of frozensets of vertices.
+
+    The order of the returned components is deterministic (sorted by the
+    repr of their minimal vertex) so that downstream constructions — for
+    example the connectivization of Theorem 3.13 — are reproducible.
+    """
+    remaining = set(graph.vertices)
+    components: List[FrozenSet[Vertex]] = []
+    while remaining:
+        start = min(remaining, key=repr)
+        component = frozenset(bfs_order(graph, start))
+        components.append(component)
+        remaining -= component
+    components.sort(key=lambda comp: repr(min(comp, key=repr)))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Return True when the graph has at most one connected component."""
+    if len(graph) <= 1:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def is_acyclic(graph: Graph) -> bool:
+    """Return True when the graph contains no cycle (i.e. it is a forest)."""
+    # A forest has |E| = |V| - (number of components).
+    return graph.number_of_edges() == len(graph) - len(connected_components(graph))
+
+
+def is_tree(graph: Graph) -> bool:
+    """Return True when the graph is connected and acyclic.
+
+    Matches the paper's class ``T`` of trees (a single vertex counts as a
+    tree; the empty graph does not).
+    """
+    if len(graph) == 0:
+        return False
+    return is_connected(graph) and graph.number_of_edges() == len(graph) - 1
+
+
+def is_path_graph(graph: Graph) -> bool:
+    """Return True when the graph is a simple path (class ``P`` of the paper).
+
+    A single vertex or a single edge both count as paths.
+    """
+    if not is_tree(graph):
+        return False
+    return graph.max_degree() <= 2
+
+
+def is_cycle_graph(graph: Graph) -> bool:
+    """Return True when the graph is a single cycle (class ``C`` of the paper).
+
+    Cycles have length at least 3 as simple graphs; the paper's C_2 (two
+    vertices joined by a double edge) collapses to a single edge and is not
+    recognised here.
+    """
+    if len(graph) < 3 or not is_connected(graph):
+        return False
+    return all(graph.degree(v) == 2 for v in graph.vertices)

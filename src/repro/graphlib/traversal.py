@@ -1,0 +1,94 @@
+"""Graph traversals and shortest paths used across the library."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional
+
+from repro.exceptions import StructureError
+from repro.graphlib.graph import Graph
+
+Vertex = Hashable
+
+
+def bfs_order(graph: Graph, start: Vertex) -> List[Vertex]:
+    """Return vertices reachable from ``start`` in breadth-first order."""
+    if start not in graph:
+        raise StructureError(f"start vertex {start!r} not in graph")
+    seen = {start}
+    order: List[Vertex] = []
+    queue = deque([start])
+    while queue:
+        vertex = queue.popleft()
+        order.append(vertex)
+        for neighbour in sorted(graph.neighbors(vertex), key=repr):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                queue.append(neighbour)
+    return order
+
+
+def dfs_order(graph: Graph, start: Vertex) -> List[Vertex]:
+    """Return vertices reachable from ``start`` in depth-first (preorder) order."""
+    if start not in graph:
+        raise StructureError(f"start vertex {start!r} not in graph")
+    seen = set()
+    order: List[Vertex] = []
+    stack = [start]
+    while stack:
+        vertex = stack.pop()
+        if vertex in seen:
+            continue
+        seen.add(vertex)
+        order.append(vertex)
+        for neighbour in sorted(graph.neighbors(vertex), key=repr, reverse=True):
+            if neighbour not in seen:
+                stack.append(neighbour)
+    return order
+
+
+def shortest_path_lengths(graph: Graph, start: Vertex) -> Dict[Vertex, int]:
+    """Return BFS distances from ``start`` to every reachable vertex."""
+    if start not in graph:
+        raise StructureError(f"start vertex {start!r} not in graph")
+    distances = {start: 0}
+    queue = deque([start])
+    while queue:
+        vertex = queue.popleft()
+        for neighbour in graph.neighbors(vertex):
+            if neighbour not in distances:
+                distances[neighbour] = distances[vertex] + 1
+                queue.append(neighbour)
+    return distances
+
+
+def shortest_path(graph: Graph, start: Vertex, end: Vertex) -> Optional[List[Vertex]]:
+    """Return a shortest path from ``start`` to ``end`` or None if unreachable."""
+    if start not in graph or end not in graph:
+        raise StructureError("endpoints must be vertices of the graph")
+    if start == end:
+        return [start]
+    parents: Dict[Vertex, Vertex] = {}
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        vertex = queue.popleft()
+        for neighbour in graph.neighbors(vertex):
+            if neighbour in seen:
+                continue
+            parents[neighbour] = vertex
+            if neighbour == end:
+                path = [end]
+                while path[-1] != start:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            seen.add(neighbour)
+            queue.append(neighbour)
+    return None
+
+
+def eccentricity(graph: Graph, vertex: Vertex) -> int:
+    """Return the eccentricity of ``vertex`` within its connected component."""
+    distances = shortest_path_lengths(graph, vertex)
+    return max(distances.values())

@@ -1,0 +1,70 @@
+"""Homomorphism and embedding engines.
+
+* :mod:`repro.homomorphism.backtracking` — generic CSP-style solver
+  (ground truth for all specialised algorithms).
+* :mod:`repro.homomorphism.cores` — cores and homomorphic equivalence.
+* :mod:`repro.homomorphism.decomposition_solver` — DP over tree / path
+  decompositions (the FPT algorithm behind Lemma 3.4 / Theorem 4.6).
+* :mod:`repro.homomorphism.treedepth_solver` — the bounded-tree-depth
+  recursion of Lemma 3.3 (the para-L case of the classification).
+"""
+
+from repro.homomorphism.backtracking import (
+    HomomorphismProblem,
+    compatible,
+    count_embeddings,
+    count_homomorphisms,
+    enumerate_homomorphisms,
+    find_embedding,
+    find_homomorphism,
+    has_embedding,
+    has_homomorphism,
+    is_homomorphism,
+    is_partial_homomorphism,
+)
+from repro.homomorphism.cores import (
+    core,
+    core_with_witness,
+    count_automorphisms,
+    find_proper_retraction,
+    homomorphically_equivalent,
+    is_core,
+)
+from repro.homomorphism.decomposition_solver import (
+    count_homomorphisms_pd,
+    count_homomorphisms_td,
+    homomorphism_exists_pd,
+    homomorphism_exists_td,
+)
+from repro.homomorphism.treedepth_solver import (
+    TreeDepthSolver,
+    count_homomorphisms_treedepth,
+    homomorphism_exists_treedepth,
+)
+
+__all__ = [
+    "HomomorphismProblem",
+    "find_homomorphism",
+    "has_homomorphism",
+    "count_homomorphisms",
+    "enumerate_homomorphisms",
+    "find_embedding",
+    "has_embedding",
+    "count_embeddings",
+    "is_homomorphism",
+    "is_partial_homomorphism",
+    "compatible",
+    "core",
+    "core_with_witness",
+    "is_core",
+    "find_proper_retraction",
+    "homomorphically_equivalent",
+    "count_automorphisms",
+    "homomorphism_exists_td",
+    "count_homomorphisms_td",
+    "homomorphism_exists_pd",
+    "count_homomorphisms_pd",
+    "TreeDepthSolver",
+    "homomorphism_exists_treedepth",
+    "count_homomorphisms_treedepth",
+]

@@ -1,0 +1,99 @@
+"""Cores and homomorphic equivalence (Section 2.1).
+
+A structure is a *core* when all of its endomorphisms are embeddings.
+Every structure has, up to isomorphism, a unique core: a weak substructure
+to which it maps homomorphically and which is itself a core.  The
+Classification Theorem is stated in terms of the width measures of
+``core(A)``, so the classifier needs an executable core computation.
+
+The algorithm repeatedly looks for a homomorphism into a proper induced
+substructure (equivalently, a non-surjective endomorphism); when none
+exists the structure is a core.  Exponential in the worst case, fine for
+parameter-sized structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.homomorphism.backtracking import (
+    HomomorphismProblem,
+    find_homomorphism,
+    has_homomorphism,
+)
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+def find_proper_retraction(structure: Structure) -> Optional[Dict[Element, Element]]:
+    """Return an endomorphism with a proper image, or None when none exists.
+
+    The search tries, for each element ``a``, to find a homomorphism from
+    the structure into the substructure induced by ``universe − {a}``; any
+    such homomorphism (viewed into the original structure) has a proper
+    image.
+    """
+    if len(structure) == 1:
+        return None
+    for element in sorted(structure.universe, key=repr):
+        smaller = structure.induced_substructure(structure.universe - {element})
+        mapping = find_homomorphism(structure, smaller)
+        if mapping is not None:
+            return mapping
+    return None
+
+
+def is_core(structure: Structure) -> bool:
+    """Return True when the structure is a core (all endomorphisms are embeddings)."""
+    return find_proper_retraction(structure) is None
+
+
+def core(structure: Structure) -> Structure:
+    """Return the core of the structure (an induced substructure of it).
+
+    The result is a weak substructure of the input that is a core and to
+    which the input maps homomorphically; it is unique up to isomorphism.
+    """
+    current = structure
+    while True:
+        retraction = find_proper_retraction(current)
+        if retraction is None:
+            return current
+        image = frozenset(retraction.values())
+        current = current.induced_substructure(image)
+
+
+def core_with_witness(structure: Structure) -> tuple[Structure, Dict[Element, Element]]:
+    """Return ``(core, retraction)`` where ``retraction`` maps the structure onto its core."""
+    current = structure
+    composed: Dict[Element, Element] = {a: a for a in structure.universe}
+    while True:
+        retraction = find_proper_retraction(current)
+        if retraction is None:
+            return current, composed
+        image = frozenset(retraction.values())
+        current = current.induced_substructure(image)
+        composed = {a: retraction[composed[a]] for a in composed}
+
+
+def homomorphically_equivalent(left: Structure, right: Structure) -> bool:
+    """Return True when there are homomorphisms in both directions."""
+    return has_homomorphism(left, right) and has_homomorphism(right, left)
+
+
+def count_automorphisms(structure: Structure) -> int:
+    """Return the number of bijective endomorphisms of the structure.
+
+    Used by the counting Turing reduction (Lemma 6.2), where the number of
+    homomorphisms from ``A*`` to ``B`` equals ``M_h / S`` with ``S`` the
+    number of bijective homomorphisms from ``A`` to ``A``.  For a core,
+    every endomorphism is an embedding hence (by finiteness) bijective, so
+    this counts automorphisms.
+    """
+    problem = HomomorphismProblem(structure, structure, injective=True)
+    return sum(
+        1
+        for mapping in problem.solutions()
+        if set(mapping.values()) == set(structure.universe)
+    )

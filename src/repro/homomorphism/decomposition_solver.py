@@ -1,0 +1,170 @@
+"""Homomorphism testing by dynamic programming over tree decompositions.
+
+This is the classical FPT algorithm behind Lemma 3.4: given a width-``w``
+tree decomposition of the left-hand structure ``A``, the set of partial
+homomorphisms on each bag is computed bottom-up; two adjacent bags must
+agree on their intersection.  Existence, and with a little more care the
+exact number of homomorphisms (used by Section 6), follow.
+
+For path decompositions the same sweep specialises to a left-to-right scan
+whose live state is a single bag's worth of partial homomorphisms — this is
+exactly the guess-and-check structure that Theorem 4.6 turns into a PATH
+machine.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from repro.decomposition.path_decomposition import PathDecomposition
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.exceptions import DecompositionError
+from repro.homomorphism.backtracking import is_partial_homomorphism
+from repro.structures.gaifman import gaifman_graph
+from repro.structures.structure import Structure
+
+Element = Hashable
+PartialMap = Tuple[Tuple[Element, Element], ...]  # canonical (sorted) item tuple
+
+
+def _canonical(mapping: Dict[Element, Element]) -> PartialMap:
+    return tuple(sorted(mapping.items(), key=lambda item: repr(item[0])))
+
+
+def _bag_homomorphisms(
+    source: Structure, target: Structure, bag: FrozenSet[Element]
+) -> List[Dict[Element, Element]]:
+    """Enumerate all partial homomorphisms from ``source`` to ``target`` with domain ``bag``."""
+    bag_elements = sorted(bag, key=repr)
+    if not bag_elements:
+        return [{}]
+    result = []
+    for values in product(sorted(target.universe, key=repr), repeat=len(bag_elements)):
+        mapping = dict(zip(bag_elements, values))
+        if is_partial_homomorphism(mapping, source, target):
+            result.append(mapping)
+    return result
+
+
+def homomorphism_exists_td(
+    source: Structure,
+    target: Structure,
+    decomposition: TreeDecomposition,
+) -> bool:
+    """Decide ``hom(source → target)`` via DP over the given tree decomposition.
+
+    The decomposition must decompose the Gaifman graph of ``source``.
+    """
+    return count_homomorphisms_td(source, target, decomposition) > 0
+
+
+def count_homomorphisms_td(
+    source: Structure,
+    target: Structure,
+    decomposition: TreeDecomposition,
+) -> int:
+    """Count homomorphisms ``source → target`` via DP over a tree decomposition.
+
+    Standard junction-tree counting: root the decomposition, compute for
+    every node and every partial homomorphism on its bag the number of ways
+    to extend it to the vertices introduced strictly below the node, and
+    combine multiplicatively over children (dividing is avoided by only
+    counting *new* vertices below each child).
+    """
+    decomposition.validate_for_structure(source)
+    tree = decomposition.tree
+    root = min(tree.vertices, key=repr)
+
+    # orientation: parent map via BFS
+    parent: Dict[Hashable, Optional[Hashable]] = {root: None}
+    order: List[Hashable] = [root]
+    index = 0
+    while index < len(order):
+        node = order[index]
+        index += 1
+        for neighbour in sorted(tree.neighbors(node), key=repr):
+            if neighbour not in parent:
+                parent[neighbour] = node
+                order.append(neighbour)
+    children: Dict[Hashable, List[Hashable]] = {node: [] for node in order}
+    for node, par in parent.items():
+        if par is not None:
+            children[par].append(node)
+
+    # tables[node]: canonical bag-assignment -> number of extensions to the
+    # union of bags in the subtree rooted at node.
+    tables: Dict[Hashable, Dict[PartialMap, int]] = {}
+    # subtree_vertices[node]: union of bags below (and including) node.
+    subtree_vertices: Dict[Hashable, FrozenSet[Element]] = {}
+
+    for node in reversed(order):
+        bag = decomposition.bag(node)
+        below: set = set(bag)
+        for child in children[node]:
+            below |= subtree_vertices[child]
+        subtree_vertices[node] = frozenset(below)
+        table: Dict[PartialMap, int] = {}
+        for mapping in _bag_homomorphisms(source, target, bag):
+            total = 1
+            for child in children[node]:
+                child_bag = decomposition.bag(child)
+                shared = bag & child_bag
+                child_total = 0
+                for child_key, child_count in tables[child].items():
+                    child_map = dict(child_key)
+                    if all(child_map.get(x) == mapping.get(x) for x in shared):
+                        child_total += child_count
+                total *= child_total
+                if total == 0:
+                    break
+            if total:
+                table[_canonical(mapping)] = total
+        tables[node] = table
+
+    if subtree_vertices[root] != frozenset(source.universe):
+        raise DecompositionError("decomposition does not cover the source structure")
+    return sum(tables[root].values())
+
+
+def homomorphism_exists_pd(
+    source: Structure,
+    target: Structure,
+    decomposition: PathDecomposition,
+) -> bool:
+    """Decide ``hom(source → target)`` by a left-to-right sweep over a path decomposition.
+
+    The live state after processing bag ``i`` is the set of partial
+    homomorphisms with domain ``X_i`` that extend to all vertices seen so
+    far — the same invariant the PATH machine of Theorem 4.6 maintains with
+    nondeterministic jumps.
+    """
+    decomposition.validate(gaifman_graph(source))
+    bags = decomposition.bags
+    current: List[Dict[Element, Element]] = []
+    for index, bag in enumerate(bags):
+        candidates = _bag_homomorphisms(source, target, bag)
+        if index == 0:
+            current = candidates
+        else:
+            previous_bag = bags[index - 1]
+            shared = previous_bag & bag
+            survivors = []
+            for mapping in candidates:
+                for previous in current:
+                    if all(previous.get(x) == mapping.get(x) for x in shared):
+                        survivors.append(mapping)
+                        break
+            current = survivors
+        if not current:
+            return False
+    return True
+
+
+def count_homomorphisms_pd(
+    source: Structure,
+    target: Structure,
+    decomposition: PathDecomposition,
+) -> int:
+    """Count homomorphisms via a path decomposition (delegates to the tree DP)."""
+    return count_homomorphisms_td(source, target, decomposition.as_tree_decomposition())

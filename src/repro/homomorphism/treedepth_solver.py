@@ -1,0 +1,160 @@
+"""The bounded-tree-depth homomorphism algorithm (Lemma 3.3).
+
+The paper shows that when ``td(core(A)) ≤ w`` the problem ``p-HOM(A)`` is
+in para-L: ``A`` is characterised by an ``{∧,∃}``-sentence of quantifier
+rank ``≤ w + 1`` (built along an elimination forest of the core), and such
+sentences can be model-checked in space ``O(f(k) + log n)``.
+
+This module implements the *algorithmic content* of that proof directly as
+a recursion over an elimination forest: the recursion depth is the tree
+depth, and the live state is one assignment of the current root path —
+exactly the space the paper's machine uses.  The sentence itself is built
+by :mod:`repro.logic.treedepth_sentence`; the tests check that both routes
+agree with brute force.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.decomposition.treedepth import EliminationForest, exact_elimination_forest
+from repro.exceptions import DecompositionError
+from repro.homomorphism.backtracking import is_partial_homomorphism
+from repro.homomorphism.cores import core as compute_core
+from repro.structures.gaifman import gaifman_graph
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+class TreeDepthSolver:
+    """Decides ``hom(A → B)`` by recursion over an elimination forest of ``core(A)``.
+
+    Parameters
+    ----------
+    source:
+        The left-hand structure ``A``.
+    forest:
+        Optional elimination forest of (the Gaifman graph of) ``core(A)``.
+        When omitted, the core and an optimal forest are computed.
+    use_core:
+        When True (default) the recursion runs on ``core(A)``, matching the
+        paper; homomorphism existence from ``A`` and from its core
+        coincide.
+    """
+
+    def __init__(
+        self,
+        source: Structure,
+        forest: Optional[EliminationForest] = None,
+        use_core: bool = True,
+    ) -> None:
+        self._original = source
+        self._source = compute_core(source) if use_core else source
+        if forest is None:
+            forest = exact_elimination_forest(gaifman_graph(self._source))
+        if not forest.witnesses(gaifman_graph(self._source)):
+            raise DecompositionError(
+                "elimination forest does not witness the (core) source structure"
+            )
+        self._forest = forest
+        #: Maximum number of simultaneously live assignments — the recursion
+        #: depth, which equals the forest height (the paper's tree depth bound).
+        self.max_live_assignment = forest.height()
+
+    @property
+    def source(self) -> Structure:
+        """The structure the recursion actually runs on (the core by default)."""
+        return self._source
+
+    @property
+    def forest(self) -> EliminationForest:
+        """The elimination forest guiding the recursion."""
+        return self._forest
+
+    # -- solving -------------------------------------------------------------
+    def exists(self, target: Structure) -> bool:
+        """Return True when there is a homomorphism from the source into ``target``."""
+        return all(
+            self._component_satisfiable(root, target) for root in self._forest.roots
+        )
+
+    def _component_satisfiable(self, root: Element, target: Structure) -> bool:
+        for value in sorted(target.universe, key=repr):
+            if self._satisfiable(root, {root: value}, target):
+                return True
+        return False
+
+    def _satisfiable(
+        self, vertex: Element, assignment: Dict[Element, Element], target: Structure
+    ) -> bool:
+        """Check φ_vertex under ``assignment`` of the root path (Lemma 3.3 recursion)."""
+        if not is_partial_homomorphism(assignment, self._source, target):
+            return False
+        for child in self._forest.children(vertex):
+            found = False
+            for value in sorted(target.universe, key=repr):
+                assignment[child] = value
+                if self._satisfiable(child, assignment, target):
+                    found = True
+                del assignment[child]
+                if found:
+                    break
+            if not found:
+                return False
+        return True
+
+    # -- counting -----------------------------------------------------------
+    def count(self, target: Structure) -> int:
+        """Count homomorphisms from the (non-core) source into ``target``.
+
+        Counting must *not* pass to the core (the count changes), so this
+        method requires the solver to have been built with
+        ``use_core=False``; otherwise a :class:`DecompositionError` is
+        raised to prevent silently wrong counts.
+        """
+        if self._source is not self._original and self._source != self._original:
+            raise DecompositionError(
+                "counting requires use_core=False (counts differ on the core)"
+            )
+        total = 1
+        for root in self._forest.roots:
+            component_total = 0
+            for value in sorted(target.universe, key=repr):
+                component_total += self._count_below(root, {root: value}, target)
+            total *= component_total
+            if total == 0:
+                return 0
+        return total
+
+    def _count_below(
+        self, vertex: Element, assignment: Dict[Element, Element], target: Structure
+    ) -> int:
+        """Count extensions of ``assignment`` to the subtree rooted at ``vertex``.
+
+        Mirrors the sum–product–sum recursion of the counting classification
+        (Theorem 6.1, case 3).
+        """
+        if not is_partial_homomorphism(assignment, self._source, target):
+            return 0
+        product = 1
+        for child in self._forest.children(vertex):
+            child_total = 0
+            for value in sorted(target.universe, key=repr):
+                assignment[child] = value
+                child_total += self._count_below(child, assignment, target)
+                del assignment[child]
+            product *= child_total
+            if product == 0:
+                return 0
+        return product
+
+
+def homomorphism_exists_treedepth(source: Structure, target: Structure) -> bool:
+    """Decide ``hom(source → target)`` with the bounded-tree-depth recursion."""
+    return TreeDepthSolver(source).exists(target)
+
+
+def count_homomorphisms_treedepth(source: Structure, target: Structure) -> int:
+    """Count homomorphisms with the tree-depth recursion (no core reduction)."""
+    return TreeDepthSolver(source, use_core=False).count(target)

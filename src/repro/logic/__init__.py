@@ -1,0 +1,72 @@
+"""First-order logic substrate.
+
+Formulas, the Chandra–Merlin translations between structures and
+``{∧,∃}``-sentences, the space-accounted model checker of Lemma 3.11, and
+the tree-depth sentence construction of Lemma 3.3 / Theorem 3.12.
+"""
+
+from repro.logic.canonical import (
+    canonical_conjunction,
+    canonical_query,
+    canonical_structure,
+    prenex_atoms,
+    query_holds,
+    variable_for,
+)
+from repro.logic.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Equality,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    big_and,
+    exists_many,
+)
+from repro.logic.model_checking import (
+    ModelChecker,
+    ModelCheckStatistics,
+    model_check,
+    model_check_with_statistics,
+)
+from repro.logic.treedepth_sentence import (
+    sentence_corresponds,
+    sentence_from_forest,
+    sentence_variable_forest,
+    treedepth_bound_from_sentence,
+    treedepth_sentence,
+)
+
+__all__ = [
+    "Formula",
+    "Atom",
+    "Equality",
+    "Not",
+    "And",
+    "Or",
+    "Exists",
+    "ForAll",
+    "TRUE",
+    "FALSE",
+    "big_and",
+    "exists_many",
+    "canonical_conjunction",
+    "canonical_query",
+    "canonical_structure",
+    "query_holds",
+    "prenex_atoms",
+    "variable_for",
+    "ModelChecker",
+    "ModelCheckStatistics",
+    "model_check",
+    "model_check_with_statistics",
+    "treedepth_sentence",
+    "sentence_from_forest",
+    "sentence_corresponds",
+    "sentence_variable_forest",
+    "treedepth_bound_from_sentence",
+]

@@ -1,0 +1,117 @@
+"""Canonical conjunctions and canonical structures (Chandra–Merlin).
+
+Two translations underpin the whole paper:
+
+* the **canonical conjunction** of a structure ``A`` — a quantifier-free
+  conjunction over variables ``x_a`` (one per element) containing the atom
+  ``R x_{a1} … x_{ar}`` for every tuple; it is satisfiable in ``B`` exactly
+  when ``hom(A → B)`` (Section 3.2);
+* the **canonical structure** of an ``{∧,∃}``-sentence φ — a structure
+  whose elements are φ's variables and whose tuples are φ's atoms; φ is
+  true in ``B`` exactly when the canonical structure maps homomorphically
+  to ``B``.  This is the Chandra–Merlin correspondence between boolean
+  conjunctive queries and structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.exceptions import FormulaError
+from repro.logic.formula import (
+    And,
+    Atom,
+    Exists,
+    Formula,
+    big_and,
+    exists_many,
+)
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+Element = Hashable
+
+
+def variable_for(element: Element) -> str:
+    """Return the canonical variable name ``x_a`` for element ``a``."""
+    return f"x[{element!r}]"
+
+
+def canonical_conjunction(structure: Structure) -> Formula:
+    """Return the canonical (quantifier-free) conjunction of a structure."""
+    atoms: List[Formula] = []
+    for symbol in sorted(structure.vocabulary, key=lambda s: s.name):
+        for tup in sorted(structure.relation(symbol.name), key=repr):
+            atoms.append(Atom(symbol.name, [variable_for(x) for x in tup]))
+    return And(tuple(atoms))
+
+
+def canonical_query(structure: Structure) -> Formula:
+    """Return the boolean conjunctive query of a structure.
+
+    Existentially quantifies every element's variable over the canonical
+    conjunction; the result is true in ``B`` iff ``hom(structure → B)``.
+    """
+    variables = [variable_for(a) for a in sorted(structure.universe, key=repr)]
+    return exists_many(variables, canonical_conjunction(structure))
+
+
+def canonical_structure(sentence: Formula, vocabulary: Vocabulary) -> Structure:
+    """Return the canonical structure of an ``{∧,∃}``-sentence.
+
+    The sentence must be in the ``{∧,∃}`` fragment (atoms, conjunction,
+    existential quantification only) and must be a sentence.  Variables
+    never bound by a quantifier would be free, so they are rejected.
+    The structure's universe is the set of variables occurring in atoms
+    (plus any quantified-but-unused variables, which become isolated
+    elements so the translation is information-preserving).
+    """
+    if not sentence.is_existential_conjunctive():
+        raise FormulaError("canonical_structure requires an {∧,∃}-sentence")
+    if not sentence.is_sentence():
+        raise FormulaError("canonical_structure requires a sentence")
+    variables: List[str] = []
+    for sub in sentence.subformulas():
+        if isinstance(sub, Exists) and sub.variable not in variables:
+            variables.append(sub.variable)
+    relations: Dict[str, set] = {name: set() for name in vocabulary.names()}
+    for atom in sentence.atoms():
+        if atom.relation not in vocabulary:
+            raise FormulaError(f"atom uses unknown relation {atom.relation!r}")
+        if len(atom.variables) != vocabulary.arity(atom.relation):
+            raise FormulaError(f"atom {atom!r} has the wrong arity")
+        for variable in atom.variables:
+            if variable not in variables:
+                raise FormulaError(f"variable {variable!r} is not quantified")
+        relations[atom.relation].add(tuple(atom.variables))
+    if not variables:
+        raise FormulaError("sentence quantifies no variables; no canonical structure")
+    return Structure(vocabulary, variables, relations)
+
+
+def query_holds(structure: Structure, target: Structure) -> bool:
+    """Evaluate the canonical query of ``structure`` on ``target`` by model checking.
+
+    Equivalent to ``has_homomorphism(structure, target)`` — the equivalence
+    is exercised by the tests as a sanity check of the Chandra–Merlin
+    correspondence.
+    """
+    from repro.logic.model_checking import model_check
+
+    return model_check(target, canonical_query(structure))
+
+
+def prenex_atoms(sentence: Formula) -> Tuple[List[str], List[Atom]]:
+    """Return (quantified variables in order, all atoms) of an ``{∧,∃}``-sentence.
+
+    This is the "prenexation" step used in the proof of Theorem 3.12: the
+    prenex form of an ``{∧,∃}``-sentence quantifies all its variables over
+    the conjunction of all its atoms.
+    """
+    if not sentence.is_existential_conjunctive():
+        raise FormulaError("prenex_atoms requires an {∧,∃}-sentence")
+    variables: List[str] = []
+    for sub in sentence.subformulas():
+        if isinstance(sub, Exists) and sub.variable not in variables:
+            variables.append(sub.variable)
+    return variables, list(sentence.atoms())

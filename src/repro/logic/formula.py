@@ -1,0 +1,279 @@
+"""First-order formulas over relational vocabularies.
+
+A small immutable AST sufficient for the paper's needs: relational atoms,
+equalities, Boolean connectives, and quantifiers.  The important derived
+quantities are the *quantifier rank* (Lemma 3.11 bounds model-checking
+space by it) and the ``{∧,∃}`` fragment (Theorem 3.12 characterises tree
+depth through it).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Sequence, Tuple
+
+from repro.exceptions import FormulaError
+
+
+class Formula:
+    """Base class of all first-order formulas."""
+
+    def free_variables(self) -> FrozenSet[str]:
+        """Return the formula's free variables."""
+        raise NotImplementedError
+
+    def quantifier_rank(self) -> int:
+        """Return the quantifier rank (nesting depth of quantifiers)."""
+        raise NotImplementedError
+
+    def subformulas(self) -> Iterator["Formula"]:
+        """Yield this formula and all of its subformulas (preorder)."""
+        yield self
+
+    def is_sentence(self) -> bool:
+        """Return True when the formula has no free variables."""
+        return not self.free_variables()
+
+    def is_existential_conjunctive(self) -> bool:
+        """Return True when the formula lies in the ``{∧,∃}`` fragment.
+
+        That fragment is built from relational atoms using only conjunction
+        and existential quantification — the shape of Theorem 3.12.
+        Equalities and other connectives disqualify a formula.
+        """
+        return all(
+            isinstance(sub, (Atom, And, Exists)) for sub in self.subformulas()
+        )
+
+    def atoms(self) -> Iterator["Atom"]:
+        """Yield all relational atoms occurring in the formula."""
+        for sub in self.subformulas():
+            if isinstance(sub, Atom):
+                yield sub
+
+    def size(self) -> int:
+        """Return the number of AST nodes (a proxy for ``|φ|``)."""
+        return sum(1 for _ in self.subformulas())
+
+    def max_arity(self) -> int:
+        """Return the maximal arity over relation symbols mentioned (0 if none)."""
+        arity = 0
+        for atom in self.atoms():
+            arity = max(arity, len(atom.variables))
+        return arity
+
+    # convenience combinators -------------------------------------------------
+    def and_(self, other: "Formula") -> "Formula":
+        """Return the conjunction of this formula with ``other``."""
+        return And((self, other))
+
+    def exists(self, variable: str) -> "Formula":
+        """Return the existential quantification of this formula."""
+        return Exists(variable, self)
+
+
+class Atom(Formula):
+    """A relational atom ``R(x1, …, xr)``."""
+
+    __slots__ = ("relation", "variables")
+
+    def __init__(self, relation: str, variables: Sequence[str]) -> None:
+        if not relation:
+            raise FormulaError("atom needs a relation symbol name")
+        self.relation = relation
+        self.variables: Tuple[str, ...] = tuple(variables)
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset(self.variables)
+
+    def quantifier_rank(self) -> int:
+        return 0
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self.relation == other.relation
+            and self.variables == other.variables
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.variables))
+
+    def __repr__(self) -> str:
+        return f"{self.relation}({', '.join(self.variables)})"
+
+
+class Equality(Formula):
+    """An equality atom ``x = y``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: str, right: str) -> None:
+        self.left = left
+        self.right = right
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset((self.left, self.right))
+
+    def quantifier_rank(self) -> int:
+        return 0
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Equality)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("=", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Formula) -> None:
+        self.inner = inner
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.inner.free_variables()
+
+    def quantifier_rank(self) -> int:
+        return self.inner.quantifier_rank()
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        yield from self.inner.subformulas()
+
+    def __repr__(self) -> str:
+        return f"¬({self.inner!r})"
+
+
+class And(Formula):
+    """Finite conjunction.  An empty conjunction is the constant true."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Formula]) -> None:
+        self.parts: Tuple[Formula, ...] = tuple(parts)
+
+    def free_variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            result |= part.free_variables()
+        return result
+
+    def quantifier_rank(self) -> int:
+        return max((part.quantifier_rank() for part in self.parts), default=0)
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        for part in self.parts:
+            yield from part.subformulas()
+
+    def __repr__(self) -> str:
+        if not self.parts:
+            return "⊤"
+        return "(" + " ∧ ".join(repr(part) for part in self.parts) + ")"
+
+
+class Or(Formula):
+    """Finite disjunction.  An empty disjunction is the constant false."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Formula]) -> None:
+        self.parts: Tuple[Formula, ...] = tuple(parts)
+
+    def free_variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            result |= part.free_variables()
+        return result
+
+    def quantifier_rank(self) -> int:
+        return max((part.quantifier_rank() for part in self.parts), default=0)
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        for part in self.parts:
+            yield from part.subformulas()
+
+    def __repr__(self) -> str:
+        if not self.parts:
+            return "⊥"
+        return "(" + " ∨ ".join(repr(part) for part in self.parts) + ")"
+
+
+class Exists(Formula):
+    """Existential quantification ``∃x φ``."""
+
+    __slots__ = ("variable", "inner")
+
+    def __init__(self, variable: str, inner: Formula) -> None:
+        if not variable:
+            raise FormulaError("quantifier needs a variable name")
+        self.variable = variable
+        self.inner = inner
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.inner.free_variables() - {self.variable}
+
+    def quantifier_rank(self) -> int:
+        return 1 + self.inner.quantifier_rank()
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        yield from self.inner.subformulas()
+
+    def __repr__(self) -> str:
+        return f"∃{self.variable} {self.inner!r}"
+
+
+class ForAll(Formula):
+    """Universal quantification ``∀x φ``."""
+
+    __slots__ = ("variable", "inner")
+
+    def __init__(self, variable: str, inner: Formula) -> None:
+        if not variable:
+            raise FormulaError("quantifier needs a variable name")
+        self.variable = variable
+        self.inner = inner
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.inner.free_variables() - {self.variable}
+
+    def quantifier_rank(self) -> int:
+        return 1 + self.inner.quantifier_rank()
+
+    def subformulas(self) -> Iterator[Formula]:
+        yield self
+        yield from self.inner.subformulas()
+
+    def __repr__(self) -> str:
+        return f"∀{self.variable} {self.inner!r}"
+
+
+TRUE = And(())
+FALSE = Or(())
+
+
+def big_and(parts: Sequence[Formula]) -> Formula:
+    """Return the conjunction of ``parts`` (flattening single parts)."""
+    parts = tuple(parts)
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts)
+
+
+def exists_many(variables: Sequence[str], inner: Formula) -> Formula:
+    """Return ``∃x1 … ∃xn inner`` (innermost variable quantified last)."""
+    result = inner
+    for variable in reversed(list(variables)):
+        result = Exists(variable, result)
+    return result

@@ -1,0 +1,144 @@
+"""Tree-depth sentences (Lemma 3.3 and Theorem 3.12).
+
+Given a structure ``A`` whose core has tree depth ``≤ w``, the paper
+constructs an ``{∧,∃}``-sentence ``φ_A`` of quantifier rank ``≤ w + 1``
+such that for every structure ``B``:
+
+    ``B ⊨ φ_A``  ⇔  there is a homomorphism ``A → B``.
+
+The construction walks an elimination forest of the core: for a leaf ``c``
+the formula is the canonical conjunction of the substructure induced by
+the root path ``P_c``; for an inner vertex it is the conjunction over
+children ``d`` of ``∃x_d φ_d``; the sentence conjoins ``∃x_r φ_r`` over
+the roots.
+
+Theorem 3.12 states the converse: if *some* ``{∧,∃}``-sentence of
+quantifier rank ``≤ w + 1`` corresponds to ``A`` then ``td(core(A)) ≤ w``.
+:func:`treedepth_bound_from_sentence` implements the witness extraction of
+that proof (the variable-nesting forest of the sentence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.decomposition.treedepth import EliminationForest, exact_elimination_forest
+from repro.exceptions import FormulaError
+from repro.homomorphism.cores import core as compute_core
+from repro.logic.canonical import variable_for
+from repro.logic.formula import And, Atom, Exists, Formula, big_and
+from repro.structures.gaifman import gaifman_graph
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+def treedepth_sentence(structure: Structure, use_core: bool = True) -> Formula:
+    """Return the sentence ``φ_A`` of Lemma 3.3 for the given structure.
+
+    When ``use_core`` is True (the default, matching the paper) the
+    construction runs on the core of the structure, which gives the
+    optimal quantifier-rank bound ``td(core(A)) + 1``; with ``use_core``
+    False the bound degrades to ``td(A) + 1`` but the sentence still
+    corresponds to the structure.
+    """
+    base = compute_core(structure) if use_core else structure
+    forest = exact_elimination_forest(gaifman_graph(base))
+    return sentence_from_forest(base, forest)
+
+
+def sentence_from_forest(structure: Structure, forest: EliminationForest) -> Formula:
+    """Build ``φ_A`` along an explicit elimination forest of the structure.
+
+    The forest must witness the structure's Gaifman graph (every edge joins
+    an ancestor/descendant pair); the resulting sentence has quantifier
+    rank equal to the forest height (``≤ td + 1`` via the +1 coming from
+    quantifying the roots, matching the paper's accounting).
+    """
+    if not forest.witnesses(gaifman_graph(structure)):
+        raise FormulaError("forest does not witness the structure's Gaifman graph")
+
+    def path_conjunction(vertex: Element) -> Formula:
+        """Canonical conjunction of the substructure induced by the root path P_vertex."""
+        path = set(forest.root_path(vertex))
+        atoms: List[Formula] = []
+        for symbol in sorted(structure.vocabulary, key=lambda s: s.name):
+            for tup in sorted(structure.relation(symbol.name), key=repr):
+                if all(x in path for x in tup):
+                    atoms.append(Atom(symbol.name, [variable_for(x) for x in tup]))
+        return And(tuple(atoms))
+
+    def phi(vertex: Element) -> Formula:
+        children = forest.children(vertex)
+        if not children:
+            return path_conjunction(vertex)
+        parts = [Exists(variable_for(child), phi(child)) for child in children]
+        return big_and(parts)
+
+    root_parts = [Exists(variable_for(root), phi(root)) for root in forest.roots]
+    return big_and(root_parts) if root_parts else And(())
+
+
+def sentence_corresponds(structure: Structure, sentence: Formula, targets: List[Structure]) -> bool:
+    """Check on a finite list of targets that the sentence "corresponds" to the structure.
+
+    "Corresponds" is the paper's notion: for every target ``B`` the sentence
+    is true in ``B`` exactly when ``hom(structure → B)``.  A finite check
+    obviously cannot prove correspondence, but it is the right shape for
+    property-based testing.
+    """
+    from repro.homomorphism.backtracking import has_homomorphism
+    from repro.logic.model_checking import model_check
+
+    return all(
+        model_check(target, sentence) == has_homomorphism(structure, target)
+        for target in targets
+    )
+
+
+def sentence_variable_forest(sentence: Formula) -> Dict[str, List[str]]:
+    """Return the quantifier-nesting forest of an ``{∧,∃}``-sentence.
+
+    Maps every quantified variable to the list of variables quantified
+    immediately below it (the directed graph ``D`` in the proof of
+    Theorem 3.12).  Roots are the variables quantified with no enclosing
+    quantifier; they appear under the pseudo-key ``""``.
+    """
+    if not sentence.is_existential_conjunctive():
+        raise FormulaError("sentence_variable_forest requires an {∧,∃}-sentence")
+    children: Dict[str, List[str]] = {"": []}
+
+    def walk(formula: Formula, enclosing: str) -> None:
+        if isinstance(formula, Exists):
+            children.setdefault(enclosing, []).append(formula.variable)
+            children.setdefault(formula.variable, [])
+            walk(formula.inner, formula.variable)
+        elif isinstance(formula, And):
+            for part in formula.parts:
+                walk(part, enclosing)
+        # atoms terminate the recursion
+
+    walk(sentence, "")
+    return children
+
+
+def treedepth_bound_from_sentence(sentence: Formula) -> int:
+    """Return the tree-depth bound extracted from an ``{∧,∃}``-sentence.
+
+    Following Theorem 3.12: the canonical structure of the sentence has
+    tree depth at most the length of the longest chain in the sentence's
+    quantifier-nesting forest, which is at most ``qr(sentence)``.  The
+    returned value is that longest chain length — an upper bound on
+    ``td(core(A))`` for any structure ``A`` the sentence corresponds to is
+    then ``qr(sentence) - 1`` by the theorem; this helper returns the chain
+    length so callers can compare both quantities.
+    """
+    forest = sentence_variable_forest(sentence)
+
+    def depth(variable: str) -> int:
+        kids = forest.get(variable, [])
+        if not kids:
+            return 0
+        return 1 + max(depth(child) for child in kids)
+
+    return depth("")

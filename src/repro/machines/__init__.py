@@ -1,0 +1,72 @@
+"""Machine models for parameterized logarithmic space (Sections 4 and 5).
+
+Deterministic Turing machines with explicit space accounting, jump machines
+and injective jump machines (Definition 4.4), alternating jump machines
+(Definition 5.3), levelled configuration graphs (the raw material of the
+Theorem 4.3 / 5.5 hardness reductions), the colour-coding hash family of
+Lemma 3.14, and a small library of example machines.
+"""
+
+from repro.machines.alternating import AlternatingJumpMachine, AlternatingRunStatistics
+from repro.machines.configuration import BLANK, Configuration
+from repro.machines.configuration_graph import (
+    AlternatingLevelledGraph,
+    LevelledConfigurationGraph,
+    build_alternating_configuration_graph,
+    build_jump_configuration_graph,
+)
+from repro.machines.examples import (
+    INPUT_SYMBOLS,
+    JUMP_STATE,
+    UNIVERSAL_STATE,
+    alternating_both_bits_machine,
+    at_least_k_ones_machine,
+    contains_one_machine,
+    substring_machine,
+)
+from repro.machines.hashing import (
+    color_functions,
+    family_parameters,
+    find_injective_pair,
+    hash_value,
+    injective_fraction,
+    is_prime,
+    make_hash,
+    prime_bound,
+    primes_below,
+)
+from repro.machines.jump import JumpMachine, JumpRunStatistics
+from repro.machines.turing import LEFT_END, RIGHT_END, RunResult, TuringMachine
+
+__all__ = [
+    "Configuration",
+    "BLANK",
+    "TuringMachine",
+    "RunResult",
+    "LEFT_END",
+    "RIGHT_END",
+    "JumpMachine",
+    "JumpRunStatistics",
+    "AlternatingJumpMachine",
+    "AlternatingRunStatistics",
+    "LevelledConfigurationGraph",
+    "AlternatingLevelledGraph",
+    "build_jump_configuration_graph",
+    "build_alternating_configuration_graph",
+    "is_prime",
+    "primes_below",
+    "hash_value",
+    "make_hash",
+    "prime_bound",
+    "family_parameters",
+    "find_injective_pair",
+    "injective_fraction",
+    "color_functions",
+    "at_least_k_ones_machine",
+    "contains_one_machine",
+    "substring_machine",
+    "alternating_both_bits_machine",
+    "INPUT_SYMBOLS",
+    "JUMP_STATE",
+    "UNIVERSAL_STATE",
+]

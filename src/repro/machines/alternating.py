@@ -1,0 +1,149 @@
+"""Alternating Turing machines with jumps (Definition 5.3).
+
+An alternating jump machine extends a jump machine with a *universal guess
+state*: a configuration in that state has two successors, obtained by
+switching to one of two distinguished states, and it is accepting only when
+*both* successors are accepting.  Jump configurations remain existential
+(some successor must accept).
+
+Lemma 5.4 shows that pl-space bounded alternating machines with ``f(k)``
+jumps and ``f(k)`` co-nondeterministic bits characterise the class TREE,
+and Theorem 5.5 turns their acceptance into ``p-HOM(T*)`` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import MachineError
+from repro.machines.configuration import Configuration
+from repro.machines.turing import RunResult, TuringMachine
+
+
+@dataclass
+class AlternatingRunStatistics:
+    """Resources used while evaluating an alternating computation tree."""
+
+    accepted: bool
+    max_jumps_on_a_branch: int
+    max_universal_guesses_on_a_branch: int
+    max_space: int
+
+
+class AlternatingJumpMachine:
+    """A Turing machine with a jump state and a universal guess state.
+
+    Parameters
+    ----------
+    machine:
+        Underlying deterministic machine; ``special_states`` must contain
+        both ``jump_state`` and ``universal_state``.
+    jump_state:
+        Existential jump state (input head re-placed nondeterministically,
+        control returns to the start state).
+    universal_state:
+        Universal binary guess state.
+    universal_successors:
+        The pair of states ``(u0, u1)`` the universal guess switches to.
+    max_jumps, max_universal_guesses:
+        Per-branch budgets (the ``f(κ(x))`` bounds of Definition 5.1 /
+        Lemma 5.4); branches exceeding them are rejected.
+    """
+
+    def __init__(
+        self,
+        machine: TuringMachine,
+        jump_state: str,
+        universal_state: str,
+        universal_successors: Tuple[str, str],
+        max_jumps: int,
+        max_universal_guesses: int,
+    ) -> None:
+        for state in (jump_state, universal_state):
+            if state not in machine.special_states:
+                raise MachineError(f"state {state!r} must be declared special")
+        for state in universal_successors:
+            if state not in machine.states:
+                raise MachineError(f"universal successor {state!r} unknown")
+        self.machine = machine
+        self.jump_state = jump_state
+        self.universal_state = universal_state
+        self.universal_successors = universal_successors
+        self.max_jumps = max_jumps
+        self.max_universal_guesses = max_universal_guesses
+
+    # -- semantics ----------------------------------------------------------------
+    def deterministic_core(self) -> TuringMachine:
+        """Return the machine with jump/universal states treated as halting."""
+        return self.machine
+
+    def jump_successors(self, configuration: Configuration, input_length: int) -> List[Configuration]:
+        """Successors of an (existential) jump configuration."""
+        return [
+            Configuration(
+                self.machine.start_state,
+                position,
+                configuration.work_tape,
+                configuration.work_position,
+            )
+            for position in range(input_length)
+        ]
+
+    def universal_branches(self, configuration: Configuration) -> Tuple[Configuration, Configuration]:
+        """The two successors of a universal guess configuration."""
+        u0, u1 = self.universal_successors
+        return configuration.with_state(u0), configuration.with_state(u1)
+
+    def accepts(self, input_string: str, max_steps: int = 50_000) -> bool:
+        """Evaluate the alternating computation tree and report acceptance."""
+        return self.run(input_string, max_steps=max_steps).accepted
+
+    def run(self, input_string: str, max_steps: int = 50_000) -> AlternatingRunStatistics:
+        """Evaluate acceptance recursively and record branch resources."""
+        n = len(input_string)
+        statistics = AlternatingRunStatistics(False, 0, 0, 0)
+        memo: Dict[Tuple[Configuration, int, int], bool] = {}
+
+        def accepting(start: Configuration, jumps: int, guesses: int) -> bool:
+            key = (start, jumps, guesses)
+            if key in memo:
+                return memo[key]
+            result: RunResult = self.machine.run(input_string, start=start, max_steps=max_steps)
+            statistics.max_space = max(statistics.max_space, result.max_space)
+            statistics.max_jumps_on_a_branch = max(statistics.max_jumps_on_a_branch, jumps)
+            statistics.max_universal_guesses_on_a_branch = max(
+                statistics.max_universal_guesses_on_a_branch, guesses
+            )
+            if result.status == "accept":
+                memo[key] = True
+                return True
+            if result.status in ("reject", "timeout"):
+                memo[key] = False
+                return False
+            halted = result.configuration
+            if halted.state == self.jump_state:
+                if jumps >= self.max_jumps or n == 0:
+                    memo[key] = False
+                    return False
+                value = any(
+                    accepting(successor, jumps + 1, guesses)
+                    for successor in self.jump_successors(halted, n)
+                )
+                memo[key] = value
+                return value
+            if halted.state == self.universal_state:
+                if guesses >= self.max_universal_guesses:
+                    memo[key] = False
+                    return False
+                left, right = self.universal_branches(halted)
+                value = accepting(left, jumps, guesses + 1) and accepting(
+                    right, jumps, guesses + 1
+                )
+                memo[key] = value
+                return value
+            memo[key] = False
+            return False
+
+        statistics.accepted = accepting(self.machine.initial_configuration(), 0, 0)
+        return statistics

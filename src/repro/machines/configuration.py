@@ -1,0 +1,69 @@
+"""Machine configurations.
+
+A configuration records the full instantaneous state of a simulated Turing
+machine: control state, input-head position, work-tape contents and
+work-head position.  Configurations are immutable and hashable so they can
+serve as vertices of configuration graphs (the reductions of Theorems 4.3
+and 5.5 build homomorphism instances from exactly these graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: The blank work-tape symbol.
+BLANK = "_"
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An instantaneous description of a machine.
+
+    Attributes
+    ----------
+    state:
+        The control state.
+    input_position:
+        Zero-based index of the input head (clamped to the input length).
+    work_tape:
+        The work tape contents as a tuple of symbols, with trailing blanks
+        trimmed so equal tape contents compare equal.
+    work_position:
+        Zero-based index of the work head.
+    """
+
+    state: str
+    input_position: int
+    work_tape: Tuple[str, ...]
+    work_position: int
+
+    def work_symbol(self) -> str:
+        """Return the symbol under the work head (blank when off the tape)."""
+        if 0 <= self.work_position < len(self.work_tape):
+            return self.work_tape[self.work_position]
+        return BLANK
+
+    def write_work(self, symbol: str, move: int) -> Tuple[Tuple[str, ...], int]:
+        """Return the new (work tape, work head) after writing and moving."""
+        position = self.work_position
+        tape = list(self.work_tape)
+        while len(tape) <= position:
+            tape.append(BLANK)
+        tape[position] = symbol
+        new_position = max(0, position + move)
+        while tape and tape[-1] == BLANK and len(tape) - 1 > new_position:
+            tape.pop()
+        return tuple(tape), new_position
+
+    def space_used(self) -> int:
+        """Return the number of work-tape cells in use (non-trailing-blank)."""
+        return len(self.work_tape)
+
+    def with_state(self, state: str) -> "Configuration":
+        """Return a copy with a different control state."""
+        return Configuration(state, self.input_position, self.work_tape, self.work_position)
+
+    def with_input_position(self, position: int) -> "Configuration":
+        """Return a copy with the input head moved to ``position``."""
+        return Configuration(self.state, position, self.work_tape, self.work_position)

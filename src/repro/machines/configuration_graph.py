@@ -1,0 +1,183 @@
+"""Levelled configuration graphs of jump machines.
+
+The hardness directions of Theorems 4.3 and 5.5 turn a machine's
+computation on an input into a homomorphism instance whose target is built
+from the machine's *configuration graph*: the start-state ("checkpoint")
+configurations and the "reaches" relation between them (one checkpoint
+reaches another when the deterministic core, started at the first, runs
+into the jump state and the second is one of the jump's successors).
+
+The builders here produce the graph *level by level* — level ``i`` holds
+the checkpoints reachable using exactly ``i − 1`` jumps — because that is
+precisely the shape the reductions consume (level ``i`` of the target
+structure corresponds to colour ``C_i`` of ``P*_{f(k)+1}`` / to the strings
+of length ``i − 1`` for ``T*_{f(k)+1}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.exceptions import MachineError
+from repro.machines.alternating import AlternatingJumpMachine
+from repro.machines.configuration import Configuration
+from repro.machines.jump import JumpMachine
+
+
+@dataclass
+class LevelledConfigurationGraph:
+    """Configuration graph of a jump machine, organised by jump count.
+
+    Attributes
+    ----------
+    levels:
+        ``levels[i]`` is the list of checkpoint configurations reachable
+        with exactly ``i`` jumps (level 0 holds just the initial
+        configuration).
+    edges:
+        Set of ``(level, index_in_level, index_in_next_level)`` triples:
+        the checkpoint reaches the next-level checkpoint via one jump.
+    accepting:
+        Pairs ``(level, index)`` of checkpoints whose deterministic run
+        accepts without further jumping.
+    """
+
+    levels: List[List[Configuration]] = field(default_factory=list)
+    edges: Set[Tuple[int, int, int]] = field(default_factory=set)
+    accepting: Set[Tuple[int, int]] = field(default_factory=set)
+
+    def number_of_checkpoints(self) -> int:
+        """Total number of checkpoints across all levels."""
+        return sum(len(level) for level in self.levels)
+
+    def accepts_within_levels(self) -> bool:
+        """True when some accepting checkpoint is reachable from the root."""
+        return bool(self.accepting)
+
+
+def build_jump_configuration_graph(
+    machine: JumpMachine, input_string: str, max_steps: int = 50_000
+) -> LevelledConfigurationGraph:
+    """Build the levelled configuration graph of a (plain) jump machine.
+
+    Levels ``0 .. max_jumps`` are materialised; acceptance is recorded at
+    every level (the Theorem 4.3 reduction additionally assumes the machine
+    accepts only after exactly ``max_jumps`` jumps, which the example
+    machines in :mod:`repro.machines.examples` satisfy).
+
+    Only *plain* jump machines are supported: the levelled graph cannot see
+    which cells previous jumps used, so it over-approximates the acceptance
+    of injective jump machines (Theorem 4.3 indeed works with the plain
+    characterization of Lemma 4.5(2)).
+    """
+    if machine.injective:
+        raise MachineError(
+            "configuration graphs encode plain jump machines; compile the "
+            "injective machine away first (Lemma 4.5)"
+        )
+    graph = LevelledConfigurationGraph()
+    current = [machine.machine.initial_configuration()]
+    graph.levels.append(current)
+    for level in range(machine.max_jumps + 1):
+        next_level: List[Configuration] = []
+        next_index: Dict[Configuration, int] = {}
+        for index, checkpoint in enumerate(graph.levels[level]):
+            result = machine.machine.run(input_string, start=checkpoint, max_steps=max_steps)
+            if result.status == "accept":
+                graph.accepting.add((level, index))
+                continue
+            if result.status != "halt":
+                continue
+            if result.configuration.state != machine.jump_state:
+                continue
+            if level == machine.max_jumps:
+                continue
+            for successor in machine.jump_successors(result.configuration, len(input_string)):
+                if successor not in next_index:
+                    next_index[successor] = len(next_level)
+                    next_level.append(successor)
+                graph.edges.add((level, index, next_index[successor]))
+        if level < machine.max_jumps:
+            graph.levels.append(next_level)
+    return graph
+
+
+@dataclass
+class AlternatingLevelledGraph:
+    """Levelled configuration graph of an alternating jump machine.
+
+    Each "round" of the normalised machines (see Theorem 5.5's proof)
+    consists of one universal guess followed by one jump, so a level-``i``
+    checkpoint has, for each branch ``b ∈ {0, 1}``, a set of level-``i+1``
+    successors (the ``b``-reaches relation).
+    """
+
+    levels: List[List[Configuration]] = field(default_factory=list)
+    #: (level, index, branch bit, index in next level)
+    edges: Set[Tuple[int, int, int, int]] = field(default_factory=set)
+    #: checkpoints whose run accepts without using the universal state again
+    accepting: Set[Tuple[int, int]] = field(default_factory=set)
+
+
+def build_alternating_configuration_graph(
+    machine: AlternatingJumpMachine, input_string: str, max_steps: int = 50_000
+) -> AlternatingLevelledGraph:
+    """Build the levelled graph of a normalised alternating jump machine.
+
+    The machine is expected to alternate universal guesses and jumps: from
+    a checkpoint the deterministic core reaches either an accepting /
+    rejecting state (recorded in ``accepting`` or dropped) or the universal
+    state; from each universal branch it reaches either a halting state or
+    the jump state, whose successors populate the next level.  Runs that
+    break this discipline raise :class:`MachineError`, which is how the
+    tests pin down the normal form assumed by Theorem 5.5.
+    """
+    graph = AlternatingLevelledGraph()
+    graph.levels.append([machine.machine.initial_configuration()])
+    rounds = machine.max_jumps
+    for level in range(rounds + 1):
+        next_level: List[Configuration] = []
+        next_index: Dict[Configuration, int] = {}
+        for index, checkpoint in enumerate(graph.levels[level]):
+            result = machine.machine.run(input_string, start=checkpoint, max_steps=max_steps)
+            if result.status == "accept":
+                graph.accepting.add((level, index))
+                continue
+            if result.status in ("reject", "timeout"):
+                continue
+            halted = result.configuration
+            if halted.state == machine.jump_state:
+                raise MachineError(
+                    "normal form violated: jump reached before a universal guess"
+                )
+            if halted.state != machine.universal_state:
+                continue
+            if level == rounds:
+                continue
+            for bit, branch in enumerate(machine.universal_branches(halted)):
+                branch_result = machine.machine.run(
+                    input_string, start=branch, max_steps=max_steps
+                )
+                if branch_result.status == "accept":
+                    raise MachineError(
+                        "normal form violated: branch accepted before the final jump; "
+                        "pad the machine with dummy jumps (cf. Theorem 5.5's proof)"
+                    )
+                if branch_result.status in ("reject", "timeout"):
+                    continue
+                if branch_result.configuration.state != machine.jump_state:
+                    raise MachineError(
+                        "normal form violated: universal branch did not reach a jump"
+                    )
+                successors = machine.jump_successors(
+                    branch_result.configuration, len(input_string)
+                )
+                for successor in successors:
+                    if successor not in next_index:
+                        next_index[successor] = len(next_level)
+                        next_level.append(successor)
+                    graph.edges.add((level, index, bit, next_index[successor]))
+        if level < rounds:
+            graph.levels.append(next_level)
+    return graph

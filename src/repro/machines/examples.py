@@ -1,0 +1,209 @@
+"""Concrete example machines.
+
+The PATH / TREE machine characterizations (Lemma 4.5, Lemma 5.4) and the
+machine-to-homomorphism reductions (Theorems 4.3 and 5.5) are exercised on
+the small parameterized machines built here:
+
+* :func:`at_least_k_ones_machine` — an *injective* jump machine accepting
+  exactly the inputs with at least ``k`` ones (the canonical "guess k
+  distinct witnesses" PATH-style computation).
+* :func:`contains_one_machine` — the same base machine with plain jumps;
+  it accepts exactly the inputs containing a ``1`` (and still performs
+  exactly ``k`` jumps, as Theorem 4.3's reduction assumes).
+* :func:`substring_machine` — a one-jump machine accepting inputs that
+  contain a given pattern as a substring.
+* :func:`alternating_both_bits_machine` — a normalised alternating jump
+  machine with ``k`` universal-guess/jump rounds accepting exactly the
+  inputs containing both a ``0`` and a ``1``.
+
+All machines follow the conventions of Definition 4.4 / 5.3: a jump resets
+the control state to the starting state, so any information that must
+survive a jump lives on the work tape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.machines.alternating import AlternatingJumpMachine
+from repro.machines.configuration import BLANK
+from repro.machines.jump import JumpMachine
+from repro.machines.turing import LEFT_END, RIGHT_END, TransitionKey, TransitionValue, TuringMachine
+
+#: Every symbol the input head can observe.
+INPUT_SYMBOLS: Tuple[str, ...] = ("0", "1", LEFT_END, RIGHT_END)
+
+JUMP_STATE = "jump"
+UNIVERSAL_STATE = "forall"
+
+
+def _for_all_inputs(
+    transitions: Dict[TransitionKey, TransitionValue],
+    state: str,
+    work_symbol: str,
+    value: TransitionValue,
+) -> None:
+    """Add the same transition for every possible input symbol."""
+    for symbol in INPUT_SYMBOLS:
+        transitions[(state, symbol, work_symbol)] = value
+
+
+def _ones_counter_machine(k: int) -> TuringMachine:
+    """Deterministic core shared by the "k ones" jump machines.
+
+    Protocol (work tape): cell 0 holds the marker ``I`` once the machine
+    has initialised; cells 1… hold one ``x`` per verified one.  From the
+    start state the machine either initialises and jumps, or — after a
+    jump — verifies that the landed cell carries a ``1``, appends an ``x``,
+    and accepts once ``k`` of them have been written, jumping again
+    otherwise.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    transitions: Dict[TransitionKey, TransitionValue] = {}
+    # Initialisation: write the marker and perform the first jump.
+    _for_all_inputs(transitions, "start", BLANK, (JUMP_STATE, "I", 0, 0))
+    # After a jump the state is "start" and cell 0 carries the marker.
+    transitions[("start", "1", "I")] = ("walk0", "I", 0, 1)
+    transitions[("start", "0", "I")] = ("reject", "I", 0, 0)
+    transitions[("start", LEFT_END, "I")] = ("reject", "I", 0, 0)
+    transitions[("start", RIGHT_END, "I")] = ("reject", "I", 0, 0)
+    # Walk over the x's; walk_i means "i x's seen so far on this pass".
+    states = {"start", "accept", "reject", JUMP_STATE, "rewind"}
+    for i in range(k):
+        walk = f"walk{i}"
+        states.add(walk)
+        _for_all_inputs(transitions, walk, "x", (f"walk{i + 1}" if i + 1 < k else walk, "x", 0, 1))
+        if i < k - 1:
+            _for_all_inputs(transitions, walk, BLANK, ("rewind", "x", 0, -1))
+        else:
+            _for_all_inputs(transitions, walk, BLANK, ("accept", "x", 0, 0))
+    # Rewind to the marker, then jump again.
+    _for_all_inputs(transitions, "rewind", "x", ("rewind", "x", 0, -1))
+    _for_all_inputs(transitions, "rewind", "I", (JUMP_STATE, "I", 0, 0))
+    return TuringMachine(
+        states=states,
+        transitions=transitions,
+        start_state="start",
+        accept_state="accept",
+        reject_state="reject",
+        special_states={JUMP_STATE},
+    )
+
+
+def at_least_k_ones_machine(k: int) -> JumpMachine:
+    """Injective jump machine accepting inputs with at least ``k`` ones."""
+    return JumpMachine(_ones_counter_machine(k), JUMP_STATE, max_jumps=k, injective=True)
+
+
+def contains_one_machine(k: int) -> JumpMachine:
+    """Plain jump machine (k jumps) accepting inputs containing a ``1``.
+
+    With non-injective jumps the machine may revisit the same cell, so the
+    accepted language is "contains at least one 1"; every accepting run
+    still performs exactly ``k`` jumps, the normal form Theorem 4.3 needs.
+    """
+    return JumpMachine(_ones_counter_machine(k), JUMP_STATE, max_jumps=k, injective=False)
+
+
+def substring_machine(pattern: str) -> JumpMachine:
+    """One-jump machine accepting inputs containing ``pattern`` as a substring."""
+    if not pattern or any(ch not in "01" for ch in pattern):
+        raise ValueError("pattern must be a non-empty binary string")
+    transitions: Dict[TransitionKey, TransitionValue] = {}
+    _for_all_inputs(transitions, "start", BLANK, (JUMP_STATE, "J", 0, 0))
+    # After the jump, match the pattern moving right.
+    states = {"start", "accept", "reject", JUMP_STATE}
+    for index, expected in enumerate(pattern):
+        state = "start" if index == 0 else f"match{index}"
+        # The work head never moves, so every match state reads the marker.
+        work = "J"
+        states.add(state)
+        next_state = "accept" if index == len(pattern) - 1 else f"match{index + 1}"
+        for symbol in INPUT_SYMBOLS:
+            if symbol == expected:
+                transitions[(state, symbol, work)] = (next_state, work, 1, 0)
+            else:
+                transitions[(state, symbol, work)] = ("reject", work, 0, 0)
+    return JumpMachine(
+        TuringMachine(
+            states=states,
+            transitions=transitions,
+            start_state="start",
+            accept_state="accept",
+            reject_state="reject",
+            special_states={JUMP_STATE},
+        ),
+        JUMP_STATE,
+        max_jumps=1,
+        injective=False,
+    )
+
+
+def _both_bits_machine(k: int) -> TuringMachine:
+    """Deterministic core of the alternating "both bits occur" machine.
+
+    Work tape: cell 0 holds the bit the current round must find; cells 1…
+    hold one ``x`` per completed round.  Each round is a universal guess of
+    the bit (branch states write it) followed by a jump; after the jump the
+    machine checks the landed cell, appends an ``x``, and either accepts
+    (round ``k``) or starts the next round with another universal guess.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    transitions: Dict[TransitionKey, TransitionValue] = {}
+    # Initial universal guess (work cell 0 still blank).
+    _for_all_inputs(transitions, "start", BLANK, (UNIVERSAL_STATE, BLANK, 0, 0))
+    # Branch states write the expected bit and jump.
+    _for_all_inputs(transitions, "branch0", BLANK, (JUMP_STATE, "0", 0, 0))
+    _for_all_inputs(transitions, "branch1", BLANK, (JUMP_STATE, "1", 0, 0))
+    _for_all_inputs(transitions, "branch0", "0", (JUMP_STATE, "0", 0, 0))
+    _for_all_inputs(transitions, "branch0", "1", (JUMP_STATE, "0", 0, 0))
+    _for_all_inputs(transitions, "branch1", "0", (JUMP_STATE, "1", 0, 0))
+    _for_all_inputs(transitions, "branch1", "1", (JUMP_STATE, "1", 0, 0))
+    # After the jump: compare the landed symbol with the expected bit.
+    for expected in ("0", "1"):
+        for symbol in INPUT_SYMBOLS:
+            if symbol == expected:
+                transitions[("start", symbol, expected)] = ("walk0", expected, 0, 1)
+            else:
+                transitions[("start", symbol, expected)] = ("reject", expected, 0, 0)
+    states = {"start", "accept", "reject", JUMP_STATE, UNIVERSAL_STATE, "branch0", "branch1", "rewind"}
+    for i in range(k):
+        walk = f"walk{i}"
+        states.add(walk)
+        _for_all_inputs(transitions, walk, "x", (f"walk{i + 1}" if i + 1 < k else walk, "x", 0, 1))
+        if i < k - 1:
+            _for_all_inputs(transitions, walk, BLANK, ("rewind", "x", 0, -1))
+        else:
+            _for_all_inputs(transitions, walk, BLANK, ("accept", "x", 0, 0))
+    # Rewind to cell 0 and issue the next universal guess.
+    _for_all_inputs(transitions, "rewind", "x", ("rewind", "x", 0, -1))
+    for bit in ("0", "1"):
+        _for_all_inputs(transitions, "rewind", bit, (UNIVERSAL_STATE, bit, 0, 0))
+    return TuringMachine(
+        states=states,
+        transitions=transitions,
+        start_state="start",
+        accept_state="accept",
+        reject_state="reject",
+        special_states={JUMP_STATE, UNIVERSAL_STATE},
+    )
+
+
+def alternating_both_bits_machine(k: int) -> AlternatingJumpMachine:
+    """Alternating jump machine with ``k`` rounds accepting inputs with a 0 and a 1.
+
+    Each round universally picks a bit and existentially jumps to a cell
+    carrying it, so the machine accepts exactly when the input contains
+    both bits; the computation tree has ``2^k`` branches, which makes the
+    Theorem 5.5 reduction produce genuinely tree-shaped instances.
+    """
+    return AlternatingJumpMachine(
+        _both_bits_machine(k),
+        jump_state=JUMP_STATE,
+        universal_state=UNIVERSAL_STATE,
+        universal_successors=("branch0", "branch1"),
+        max_jumps=k,
+        max_universal_guesses=k,
+    )

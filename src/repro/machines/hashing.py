@@ -1,0 +1,114 @@
+"""The colour-coding hash family of Lemma 3.14.
+
+For every sufficiently large ``n``, every ``k``-element subset ``X`` of
+``[n]`` admits a prime ``p < k² log n`` and ``q < p`` such that
+
+    ``h_{p,q}(m) = (q·m mod p) mod k²``
+
+is injective on ``X``.  The functions here evaluate the family, search for
+an injective pair (the constructive content used by the colour-coding
+reduction of Lemma 3.15 and by the jump-to-guess compilation in
+Lemma 4.5), and enumerate the whole family for a given ``(k, n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import MachineError
+
+
+def is_prime(number: int) -> bool:
+    """Return True when ``number`` is a prime (trial division; small numbers)."""
+    if number < 2:
+        return False
+    if number < 4:
+        return True
+    if number % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= number:
+        if number % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def primes_below(bound: int) -> List[int]:
+    """Return all primes strictly below ``bound``."""
+    return [p for p in range(2, max(2, bound)) if is_prime(p)]
+
+
+def hash_value(p: int, q: int, k: int, m: int) -> int:
+    """Evaluate ``h_{p,q}(m) = ((q·m) mod p) mod k²``."""
+    if p <= 0 or k <= 0:
+        raise MachineError("p and k must be positive")
+    return ((q * m) % p) % (k * k)
+
+
+def make_hash(p: int, q: int, k: int) -> Callable[[int], int]:
+    """Return the function ``h_{p,q}`` for a fixed ``k``."""
+    return lambda m: hash_value(p, q, k, m)
+
+
+def prime_bound(k: int, n: int) -> int:
+    """Return the paper's bound ``k² log n`` on the prime modulus.
+
+    Lemma 3.14 only guarantees an injective pair for *sufficiently large*
+    ``n``; for tiny inputs ``k² log n`` may not even exceed the smallest
+    prime, so the bound is floored at 3 (admitting ``p = 2``) to keep the
+    constructive search total on toy instances.
+    """
+    return max(3, int(math.ceil(k * k * math.log2(max(2, n)))))
+
+
+def family_parameters(k: int, n: int) -> Iterator[Tuple[int, int]]:
+    """Yield all pairs ``(p, q)`` with ``q < p < k² log n`` and ``p`` prime."""
+    for p in primes_below(prime_bound(k, n)):
+        for q in range(1, p):
+            yield p, q
+
+
+def find_injective_pair(subset: Sequence[int], n: int) -> Optional[Tuple[int, int]]:
+    """Return a pair ``(p, q)`` making ``h_{p,q}`` injective on ``subset``.
+
+    ``subset`` is a set of positions in ``[n]`` (1-based or 0-based both
+    work); ``k`` is taken to be ``len(subset)``.  Returns None when no pair
+    within the paper's bound works — Lemma 3.14 guarantees this only for
+    sufficiently large ``n``, and the tests record how often small inputs
+    fall outside the guarantee (empirically: essentially never for the
+    sizes we use).
+    """
+    elements = list(subset)
+    k = max(1, len(elements))
+    for p, q in family_parameters(k, n):
+        images = {hash_value(p, q, k, m) for m in elements}
+        if len(images) == len(elements):
+            return p, q
+    return None
+
+
+def injective_fraction(subset: Sequence[int], n: int) -> float:
+    """Return the fraction of family members injective on ``subset``.
+
+    Diagnostic used by the E9 benchmark: colour coding only needs *one*
+    injective member, but the density is what drives the success
+    probability of the randomised variant.
+    """
+    elements = list(subset)
+    k = max(1, len(elements))
+    total = 0
+    good = 0
+    for p, q in family_parameters(k, n):
+        total += 1
+        images = {hash_value(p, q, k, m) for m in elements}
+        if len(images) == len(elements):
+            good += 1
+    return good / total if total else 0.0
+
+
+def color_functions(k: int, n: int) -> Iterator[Tuple[Tuple[int, int], Callable[[int], int]]]:
+    """Yield ``((p, q), h_{p,q})`` for the whole family of Lemma 3.14."""
+    for p, q in family_parameters(k, n):
+        yield (p, q), make_hash(p, q, k)

@@ -1,0 +1,174 @@
+"""Jump machines and injective jump machines (Definition 4.4).
+
+A *jump machine* is a Turing machine with a distinguished jump state: when
+the machine enters it, the input head is placed nondeterministically on
+any input cell and the control state reverts to the starting state.  The
+machine accepts when some sequence of jump choices leads to acceptance.
+An *injective* jump machine may never jump to a cell it has already jumped
+to.
+
+Lemma 4.5 shows that accepting with ``f(k)`` jumps under a pl-space bound
+characterises the class PATH; the analogous alternating machines of
+Definition 5.3 characterise TREE.  The simulator here searches the jump
+choices exhaustively (with memoisation on checkpoint configurations), and
+records the resources — jump count and work-tape space — that the lemma
+constrains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.exceptions import MachineError
+from repro.machines.configuration import Configuration
+from repro.machines.turing import RunResult, TuringMachine
+
+
+@dataclass
+class JumpRunStatistics:
+    """Resources used by an accepting jump-machine computation (if any)."""
+
+    accepted: bool
+    jumps_used: int
+    max_space: int
+    jump_targets: Tuple[int, ...]
+
+
+class JumpMachine:
+    """A Turing machine with a nondeterministic jump state.
+
+    Parameters
+    ----------
+    machine:
+        The underlying deterministic machine; its ``special_states`` must
+        contain ``jump_state``.
+    jump_state:
+        The distinguished jump state.
+    max_jumps:
+        A hard cap on the number of jumps per run (the ``f(κ(x))`` of
+        Lemma 4.5); runs attempting more jumps are cut off.
+    injective:
+        When True, the machine never jumps to a previously used cell.
+    """
+
+    def __init__(
+        self,
+        machine: TuringMachine,
+        jump_state: str,
+        max_jumps: int,
+        injective: bool = False,
+    ) -> None:
+        if jump_state not in machine.special_states:
+            raise MachineError("jump_state must be declared special in the base machine")
+        self.machine = machine
+        self.jump_state = jump_state
+        self.max_jumps = max_jumps
+        self.injective = injective
+
+    # -- semantics -------------------------------------------------------------
+    def deterministic_core(self) -> TuringMachine:
+        """Return ``A_det``: the machine with the jump state treated as rejecting.
+
+        This is the machine used to build configuration graphs in the
+        hardness reductions of Theorems 4.3 and 5.5.
+        """
+        return self.machine
+
+    def jump_successors(self, configuration: Configuration, input_length: int) -> List[Configuration]:
+        """Return the successor configurations of a jump configuration.
+
+        The input head lands on any cell carrying an input bit and the
+        state reverts to the machine's starting state.
+        """
+        if configuration.state != self.jump_state:
+            raise MachineError("jump_successors called on a non-jump configuration")
+        return [
+            Configuration(
+                self.machine.start_state,
+                position,
+                configuration.work_tape,
+                configuration.work_position,
+            )
+            for position in range(input_length)
+        ]
+
+    def accepts(self, input_string: str, max_steps: int = 50_000) -> bool:
+        """Return True when some sequence of jump choices leads to acceptance."""
+        return self.run(input_string, max_steps=max_steps).accepted
+
+    def run(self, input_string: str, max_steps: int = 50_000) -> JumpRunStatistics:
+        """Search the jump choices; return acceptance plus resource usage.
+
+        The search explores checkpoint configurations (the configurations
+        right after a jump, plus the initial one) depth-first, memoising
+        failures, and returns the statistics of the first accepting run
+        found (or of the most space-hungry failing exploration otherwise).
+        """
+        n = len(input_string)
+        max_space_seen = 0
+        failed: Set[Tuple[Configuration, FrozenSet[int]]] = set()
+
+        def explore(
+            start: Configuration, jumps_used: int, used_cells: FrozenSet[int]
+        ) -> Optional[Tuple[int, Tuple[int, ...]]]:
+            nonlocal max_space_seen
+            key = (start, used_cells if self.injective else frozenset())
+            if key in failed:
+                return None
+            result: RunResult = self.machine.run(input_string, start=start, max_steps=max_steps)
+            max_space_seen = max(max_space_seen, result.max_space)
+            if result.status == "accept":
+                return jumps_used, ()
+            if result.status in ("reject", "timeout"):
+                failed.add(key)
+                return None
+            # halted in a special state; only the jump state is meaningful here
+            if result.configuration.state != self.jump_state:
+                failed.add(key)
+                return None
+            if jumps_used >= self.max_jumps or n == 0:
+                failed.add(key)
+                return None
+            for successor in self.jump_successors(result.configuration, n):
+                target = successor.input_position
+                if self.injective and target in used_cells:
+                    continue
+                new_used = used_cells | {target} if self.injective else used_cells
+                outcome = explore(successor, jumps_used + 1, new_used)
+                if outcome is not None:
+                    total_jumps, suffix = outcome
+                    return total_jumps, (target,) + suffix
+            failed.add(key)
+            return None
+
+        outcome = explore(self.machine.initial_configuration(), 0, frozenset())
+        if outcome is None:
+            return JumpRunStatistics(False, 0, max_space_seen, ())
+        jumps, targets = outcome
+        return JumpRunStatistics(True, jumps, max_space_seen, targets)
+
+    # -- resource verification ------------------------------------------------------
+    def respects_path_resources(
+        self,
+        input_string: str,
+        parameter: int,
+        space_budget_per_unit: int = 64,
+        max_steps: int = 50_000,
+    ) -> bool:
+        """Check the PATH resource profile of Definition 4.1 on one input.
+
+        The work-tape space must be ``O(f(k) + log n)`` and the number of
+        jumps at most ``f(k)``; the constant is materialised as
+        ``space_budget_per_unit``.
+        """
+        import math
+
+        statistics = self.run(input_string, max_steps=max_steps)
+        n = max(2, len(input_string))
+        space_budget = space_budget_per_unit * (parameter + int(math.log2(n)) + 1)
+        if statistics.max_space > space_budget:
+            return False
+        if statistics.accepted and statistics.jumps_used > self.max_jumps:
+            return False
+        return True

@@ -1,0 +1,175 @@
+"""Deterministic Turing machines with one input tape and one work tape.
+
+The machine model follows Section 2.3: a read-only input tape over
+``{0, 1}`` plus a work tape.  The simulator accounts for work-tape space so
+the parameterized-logarithmic-space bounds of the paper become measurable
+quantities (the input tape is excluded from space, as usual).
+
+Nondeterminism is layered on top in :mod:`repro.machines.jump` (jump
+machines, Definition 4.4) and :mod:`repro.machines.alternating`
+(alternating jump machines, Definition 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.exceptions import MachineError, ResourceExceededError
+from repro.machines.configuration import BLANK, Configuration
+
+#: A transition maps (state, input symbol, work symbol) to
+#: (new state, work write, input move, work move); moves are -1, 0 or +1.
+TransitionKey = Tuple[str, str, str]
+TransitionValue = Tuple[str, str, int, int]
+
+#: Marker symbols seen by the input head beyond the ends of the input.
+LEFT_END = "<"
+RIGHT_END = ">"
+
+
+@dataclass
+class RunResult:
+    """Outcome of a deterministic run.
+
+    ``status`` is one of ``"accept"``, ``"reject"``, ``"halt"`` (a special
+    state such as the jump state was reached), or ``"timeout"``.
+    """
+
+    status: str
+    configuration: Configuration
+    steps: int
+    max_space: int
+
+
+class TuringMachine:
+    """A deterministic Turing machine specification.
+
+    Parameters
+    ----------
+    states:
+        All control states.
+    transitions:
+        Mapping from ``(state, input symbol, work symbol)`` to
+        ``(new state, work write, input move, work move)``.  Missing
+        transitions mean the machine halts rejecting.
+    start_state, accept_state, reject_state:
+        Distinguished states.
+    special_states:
+        States at which deterministic simulation stops and reports
+        ``"halt"`` — the jump / guess states of the nondeterministic
+        wrappers.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        transitions: Mapping[TransitionKey, TransitionValue],
+        start_state: str,
+        accept_state: str,
+        reject_state: str,
+        special_states: Iterable[str] = (),
+    ) -> None:
+        self.states = frozenset(states)
+        self.start_state = start_state
+        self.accept_state = accept_state
+        self.reject_state = reject_state
+        self.special_states: FrozenSet[str] = frozenset(special_states)
+        for required in (start_state, accept_state, reject_state):
+            if required not in self.states:
+                raise MachineError(f"state {required!r} missing from the state set")
+        for special in self.special_states:
+            if special not in self.states:
+                raise MachineError(f"special state {special!r} missing from the state set")
+        self.transitions: Dict[TransitionKey, TransitionValue] = dict(transitions)
+        for (state, _, _), (new_state, _, input_move, work_move) in self.transitions.items():
+            if state not in self.states or new_state not in self.states:
+                raise MachineError("transition uses an unknown state")
+            if input_move not in (-1, 0, 1) or work_move not in (-1, 0, 1):
+                raise MachineError("head moves must be -1, 0 or +1")
+
+    # -- configuration helpers -------------------------------------------------
+    def initial_configuration(self) -> Configuration:
+        """Return the starting configuration (heads at position 0, blank tape)."""
+        return Configuration(self.start_state, 0, (), 0)
+
+    def input_symbol(self, input_string: str, position: int) -> str:
+        """Return the symbol the input head reads at ``position``."""
+        if position < 0:
+            return LEFT_END
+        if position >= len(input_string):
+            return RIGHT_END
+        return input_string[position]
+
+    def is_halting(self, configuration: Configuration) -> bool:
+        """Return True when the configuration is accepting, rejecting or special."""
+        return (
+            configuration.state in (self.accept_state, self.reject_state)
+            or configuration.state in self.special_states
+        )
+
+    # -- simulation ---------------------------------------------------------------
+    def step(self, configuration: Configuration, input_string: str) -> Configuration:
+        """Perform one deterministic step (undefined transitions reject)."""
+        key = (
+            configuration.state,
+            self.input_symbol(input_string, configuration.input_position),
+            configuration.work_symbol(),
+        )
+        if key not in self.transitions:
+            return configuration.with_state(self.reject_state)
+        new_state, work_write, input_move, work_move = self.transitions[key]
+        work_tape, work_position = configuration.write_work(work_write, work_move)
+        input_position = min(
+            max(configuration.input_position + input_move, -1), len(input_string)
+        )
+        return Configuration(new_state, input_position, work_tape, work_position)
+
+    def run(
+        self,
+        input_string: str,
+        start: Optional[Configuration] = None,
+        max_steps: int = 100_000,
+        max_space: Optional[int] = None,
+    ) -> RunResult:
+        """Run deterministically until accept/reject/special state or timeout.
+
+        ``max_space`` (work-tape cells) enforces a space budget; exceeding it
+        raises :class:`ResourceExceededError` — this is how the pl-space
+        bounds of the paper are *checked* rather than assumed.
+        """
+        configuration = start if start is not None else self.initial_configuration()
+        used = configuration.space_used()
+        steps = 0
+        while steps < max_steps:
+            if self.is_halting(configuration):
+                status = self._status_of(configuration)
+                return RunResult(status, configuration, steps, used)
+            configuration = self.step(configuration, input_string)
+            used = max(used, configuration.space_used())
+            if max_space is not None and used > max_space:
+                raise ResourceExceededError(
+                    f"work tape used {used} cells, budget was {max_space}"
+                )
+            steps += 1
+        return RunResult("timeout", configuration, steps, used)
+
+    def _status_of(self, configuration: Configuration) -> str:
+        if configuration.state == self.accept_state:
+            return "accept"
+        if configuration.state == self.reject_state:
+            return "reject"
+        return "halt"
+
+    def accepts_deterministically(self, input_string: str, max_steps: int = 100_000) -> bool:
+        """Run from the initial configuration and report acceptance."""
+        return self.run(input_string, max_steps=max_steps).status == "accept"
+
+
+def machine_reads_value(configuration: Configuration, input_string: str) -> str:
+    """Return the input symbol currently under the head of ``configuration``."""
+    if 0 <= configuration.input_position < len(input_string):
+        return input_string[configuration.input_position]
+    if configuration.input_position < 0:
+        return LEFT_END
+    return RIGHT_END

@@ -1,0 +1,24 @@
+"""Graph minor theory: minor maps, minor search, random minors.
+
+Supports the Reduction Lemma (Lemma 3.7 needs explicit minor maps) and the
+excluded-minor characterizations of Theorem 2.3 that drive the hardness
+directions of the Classification Theorem.
+"""
+
+from repro.minors.minor_map import MinorMap
+from repro.minors.search import (
+    excludes_minor,
+    find_minor_map,
+    has_minor,
+    largest_path_minor,
+    random_minor,
+)
+
+__all__ = [
+    "MinorMap",
+    "find_minor_map",
+    "has_minor",
+    "excludes_minor",
+    "largest_path_minor",
+    "random_minor",
+]

@@ -1,0 +1,83 @@
+"""Minor maps (Section 2.2).
+
+``M`` is a minor of a graph ``G`` when there is a *minor map* μ assigning
+to every vertex ``m`` of ``M`` a non-empty, connected subset μ(m) of ``G``
+(a *branch set*), pairwise disjoint, such that for every edge ``(m, m')``
+of ``M`` some vertex of μ(m) is adjacent in ``G`` to some vertex of μ(m').
+
+The minor map object here is the witness consumed by the reduction of
+Lemma 3.7 (``p-HOM(M*) ≤pl p-HOM(G*)``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping
+
+from repro.exceptions import StructureError
+from repro.graphlib.components import is_connected
+from repro.graphlib.graph import Graph
+
+Vertex = Hashable
+
+
+class MinorMap:
+    """A witness that a pattern graph is a minor of a host graph."""
+
+    def __init__(self, branch_sets: Mapping[Vertex, Iterable[Vertex]]) -> None:
+        self._branch_sets: Dict[Vertex, FrozenSet[Vertex]] = {
+            m: frozenset(vertices) for m, vertices in branch_sets.items()
+        }
+
+    @property
+    def branch_sets(self) -> Dict[Vertex, FrozenSet[Vertex]]:
+        """Copy of the pattern-vertex → branch-set mapping."""
+        return dict(self._branch_sets)
+
+    def branch_set(self, pattern_vertex: Vertex) -> FrozenSet[Vertex]:
+        """Return the branch set of a pattern vertex."""
+        try:
+            return self._branch_sets[pattern_vertex]
+        except KeyError:
+            raise StructureError(f"no branch set for pattern vertex {pattern_vertex!r}") from None
+
+    def image(self) -> FrozenSet[Vertex]:
+        """Return the union of all branch sets."""
+        covered: set = set()
+        for branch in self._branch_sets.values():
+            covered |= branch
+        return frozenset(covered)
+
+    def validate(self, pattern: Graph, host: Graph) -> None:
+        """Raise :class:`StructureError` unless this witnesses ``pattern ≤ minor host``."""
+        if set(self._branch_sets) != set(pattern.vertices):
+            raise StructureError("branch sets must be given for exactly the pattern vertices")
+        seen: set = set()
+        for m, branch in self._branch_sets.items():
+            if not branch:
+                raise StructureError(f"branch set of {m!r} is empty")
+            unknown = branch - host.vertices
+            if unknown:
+                raise StructureError(f"branch set of {m!r} uses unknown host vertices {set(unknown)!r}")
+            if branch & seen:
+                raise StructureError("branch sets are not pairwise disjoint")
+            seen |= branch
+            if not is_connected(host.subgraph(branch)):
+                raise StructureError(f"branch set of {m!r} is not connected in the host")
+        for m1, m2 in pattern.edge_pairs():
+            if not self._edge_realised(host, self._branch_sets[m1], self._branch_sets[m2]):
+                raise StructureError(f"pattern edge ({m1!r}, {m2!r}) is not realised")
+
+    @staticmethod
+    def _edge_realised(host: Graph, left: FrozenSet[Vertex], right: FrozenSet[Vertex]) -> bool:
+        return any(host.has_edge(u, v) for u in left for v in right)
+
+    def is_valid_for(self, pattern: Graph, host: Graph) -> bool:
+        """Return True when :meth:`validate` passes."""
+        try:
+            self.validate(pattern, host)
+        except StructureError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"MinorMap(pattern_vertices={len(self._branch_sets)}, image={len(self.image())})"

@@ -1,0 +1,33 @@
+"""Concrete parameterized problems from the paper.
+
+``p-st-PATH`` and the simple path / cycle problems of Theorem 4.7, plus
+Proposition 7.1's regular-graph restriction of ``p-EMB(P)``.
+"""
+
+from repro.problems.k_path import (
+    has_k_path_regular,
+    has_simple_cycle,
+    has_simple_directed_cycle,
+    has_simple_directed_path,
+    has_simple_path,
+    has_simple_path_color_coding,
+    k_path_sentence,
+)
+from repro.problems.st_path import (
+    find_st_path,
+    solve_st_path,
+    solve_st_path_guess_and_check,
+)
+
+__all__ = [
+    "solve_st_path",
+    "solve_st_path_guess_and_check",
+    "find_st_path",
+    "has_simple_path",
+    "has_simple_directed_path",
+    "has_simple_cycle",
+    "has_simple_directed_cycle",
+    "has_simple_path_color_coding",
+    "has_k_path_regular",
+    "k_path_sentence",
+]

@@ -1,0 +1,195 @@
+"""Simple-path and cycle problems: ``p-DIRPATH``, ``p-EMB(P)``, ``p-CYCLE``, ``p-DIRCYCLE``.
+
+These are the concrete PATH-complete problems of Theorem 4.7 (directed
+variants) together with the famously open ``p-EMB(P)`` (undirected k-path,
+Section 7) and its regular-graph restriction, which Proposition 7.1 places
+in para-L.
+
+Solvers:
+
+* exhaustive DFS (ground truth, exponential);
+* colour-coding (the Lemma 3.14 / 3.15 route: hash vertices into k² colours
+  and look for a colourful path via the starred homomorphism solver);
+* the Proposition 7.1 algorithm for regular graphs (accept outright when
+  the degree exceeds ``k``, otherwise model-check the first-order
+  k-path sentence on a bounded-degree graph).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Set
+
+from repro.exceptions import ReductionError
+from repro.graphlib.graph import DiGraph, Graph
+from repro.logic.formula import Atom, Equality, Formula, Not, big_and, exists_many
+from repro.logic.model_checking import model_check
+from repro.structures.builders import graph_structure, path
+from repro.structures.operations import star_expansion
+from repro.structures.structure import Structure
+
+Vertex = Hashable
+
+
+# ---------------------------------------------------------------------------
+# exhaustive solvers (ground truth)
+# ---------------------------------------------------------------------------
+
+def has_simple_path(graph: Graph, k: int) -> bool:
+    """Return True when the graph contains a simple path on ``k`` vertices."""
+    if k <= 0:
+        return True
+    if k > len(graph):
+        return False
+
+    def extend(current: Vertex, used: Set[Vertex], remaining: int) -> bool:
+        if remaining == 0:
+            return True
+        for neighbour in graph.neighbors(current):
+            if neighbour not in used:
+                used.add(neighbour)
+                if extend(neighbour, used, remaining - 1):
+                    used.remove(neighbour)
+                    return True
+                used.remove(neighbour)
+        return False
+
+    return any(extend(start, {start}, k - 1) for start in graph.vertices)
+
+
+def has_simple_directed_path(digraph: DiGraph, k: int) -> bool:
+    """Return True when the digraph contains a simple directed path on ``k`` vertices."""
+    if k <= 0:
+        return True
+    if k > len(digraph):
+        return False
+
+    def extend(current: Vertex, used: Set[Vertex], remaining: int) -> bool:
+        if remaining == 0:
+            return True
+        for successor in digraph.successors(current):
+            if successor not in used:
+                used.add(successor)
+                if extend(successor, used, remaining - 1):
+                    used.remove(successor)
+                    return True
+                used.remove(successor)
+        return False
+
+    return any(extend(start, {start}, k - 1) for start in digraph.vertices)
+
+
+def has_simple_cycle(graph: Graph, k: int) -> bool:
+    """Return True when the graph contains a simple cycle on exactly ``k`` vertices."""
+    if k < 3 or k > len(graph):
+        return False
+
+    def extend(start: Vertex, current: Vertex, used: Set[Vertex], remaining: int) -> bool:
+        if remaining == 0:
+            return graph.has_edge(current, start)
+        for neighbour in graph.neighbors(current):
+            if neighbour not in used:
+                used.add(neighbour)
+                if extend(start, neighbour, used, remaining - 1):
+                    used.remove(neighbour)
+                    return True
+                used.remove(neighbour)
+        return False
+
+    return any(extend(start, start, {start}, k - 1) for start in graph.vertices)
+
+
+def has_simple_directed_cycle(digraph: DiGraph, k: int) -> bool:
+    """Return True when the digraph contains a simple directed cycle on ``k`` vertices."""
+    if k < 2 or k > len(digraph):
+        return False
+
+    def extend(start: Vertex, current: Vertex, used: Set[Vertex], remaining: int) -> bool:
+        if remaining == 0:
+            return digraph.has_arc(current, start)
+        for successor in digraph.successors(current):
+            if successor not in used:
+                used.add(successor)
+                if extend(start, successor, used, remaining - 1):
+                    used.remove(successor)
+                    return True
+                used.remove(successor)
+        return False
+
+    return any(extend(start, start, {start}, k - 1) for start in digraph.vertices)
+
+
+# ---------------------------------------------------------------------------
+# colour-coding solver for undirected k-path (the Lemma 3.15 route)
+# ---------------------------------------------------------------------------
+
+def has_simple_path_color_coding(graph: Graph, k: int) -> bool:
+    """Decide k-path by the colour-coding reduction of Lemma 3.15.
+
+    Builds the ``p-EMB(P_k)`` instance, finds (for yes instances) the
+    witnessing block of the colour family, and otherwise falls back on the
+    soundness argument — any homomorphism from ``P_k*`` into a block is an
+    embedding, so exhausting a sample of blocks without success combined
+    with the exhaustive check gives the answer.  Primarily a cross-check
+    used by the tests and benchmarks (the exhaustive solver remains the
+    ground truth).
+    """
+    if k <= 0:
+        return True
+    if k > len(graph) or k < 1:
+        return False
+    from repro.homomorphism.backtracking import find_embedding, has_homomorphism
+    from repro.reductions.base import EmbInstance
+    from repro.reductions.color_coding import ColorCodingReduction
+
+    pattern = path(k)
+    target = graph_structure(graph) if graph.number_of_edges() else None
+    if target is None:
+        return k == 1
+    instance = EmbInstance(pattern, target)
+    reduction = ColorCodingReduction()
+    embedding = find_embedding(pattern, target)
+    if embedding is None:
+        return False
+    block = reduction.witness_block(instance, embedding)
+    return has_homomorphism(star_expansion(pattern), block)
+
+
+# ---------------------------------------------------------------------------
+# Proposition 7.1: k-path on regular graphs in para-L
+# ---------------------------------------------------------------------------
+
+def k_path_sentence(k: int) -> Formula:
+    """Return the FO sentence asserting a simple path on ``k + 1`` vertices.
+
+    This is the sentence used in the proof of Proposition 7.1:
+    ``∃x₀…x_k ( ⋀_{i<j} ¬xᵢ=xⱼ ∧ ⋀_{i<k} E xᵢ xᵢ₊₁ )``.
+    """
+    variables = [f"x{i}" for i in range(k + 1)]
+    parts: List[Formula] = []
+    for i in range(k + 1):
+        for j in range(i + 1, k + 1):
+            parts.append(Not(Equality(variables[i], variables[j])))
+    for i in range(k):
+        parts.append(Atom("E", (variables[i], variables[i + 1])))
+    return exists_many(variables, big_and(parts))
+
+
+def has_k_path_regular(graph: Graph, k: int) -> bool:
+    """Proposition 7.1's algorithm for ``p-EMB(P)`` restricted to regular graphs.
+
+    ``k`` counts edges (a path of length ``k`` has ``k + 1`` vertices), as
+    in the paper's problem statement.  If the (regular) degree exceeds
+    ``k`` the graph necessarily contains such a path (greedily walk to an
+    unused neighbour); otherwise the degree is bounded by ``k`` and the
+    first-order sentence is model-checked directly.
+    """
+    if not graph.is_regular():
+        raise ReductionError("has_k_path_regular requires a regular graph")
+    if k <= 0:
+        return len(graph) >= 1
+    if len(graph) == 0:
+        return False
+    degree = graph.max_degree()
+    if degree > k:
+        return True
+    return model_check(graph_structure(graph), k_path_sentence(k))

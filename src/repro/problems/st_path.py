@@ -1,0 +1,71 @@
+"""The problem ``p-st-PATH`` (Section 4).
+
+Given a graph, two vertices ``s`` and ``t`` and a bound ``k``, decide
+whether there is a path from ``s`` to ``t`` with at most ``k`` edges; the
+parameter is ``k``.  Elberfeld, Stockhusen and Tantau showed the problem
+complete for PATH (= para-NL[f log]); Theorem 4.7 re-derives this within
+the paper's framework.
+
+Two solvers are provided: plain BFS (a shortest path is always a shortest
+witness) and a "PATH-style" solver that mimics the guess-and-check machine
+— it extends a partial path one guessed vertex at a time and therefore
+uses memory proportional to ``k`` plus a cursor, which is the resource
+profile Definition 4.1 describes.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from repro.graphlib.graph import Graph
+from repro.graphlib.traversal import shortest_path_lengths
+from repro.reductions.base import StPathInstance
+
+Vertex = Hashable
+
+
+def solve_st_path(instance: StPathInstance) -> bool:
+    """Decide ``p-st-PATH`` by BFS (a shortest path is a shortest witness)."""
+    graph: Graph = instance.graph
+    if instance.source not in graph or instance.sink not in graph:
+        return False
+    distances = shortest_path_lengths(graph, instance.source)
+    return instance.sink in distances and distances[instance.sink] <= instance.length_bound
+
+
+def solve_st_path_guess_and_check(instance: StPathInstance) -> bool:
+    """Decide ``p-st-PATH`` by bounded-depth guessing (the PATH-machine style).
+
+    The recursion guesses the next vertex of the path (at most ``k``
+    guesses of ``log n`` bits each, in machine terms) and keeps only the
+    current endpoint and the number of edges used, mirroring the jump
+    machine of Theorem 4.6 / the p-st-PATH machine of [Elberfeld et al.].
+    Vertices already used are not tracked — walks and paths of bounded
+    length are interchangeable for reachability — so the live state really
+    is O(k + log n).
+    """
+    graph: Graph = instance.graph
+    if instance.source not in graph or instance.sink not in graph:
+        return False
+
+    def extend(current: Vertex, remaining: int) -> bool:
+        if current == instance.sink:
+            return True
+        if remaining == 0:
+            return False
+        return any(extend(neighbour, remaining - 1) for neighbour in graph.neighbors(current))
+
+    return extend(instance.source, instance.length_bound)
+
+
+def find_st_path(instance: StPathInstance) -> Optional[List[Vertex]]:
+    """Return a witnessing path (as a vertex list) or None."""
+    graph: Graph = instance.graph
+    if instance.source not in graph or instance.sink not in graph:
+        return None
+    from repro.graphlib.traversal import shortest_path
+
+    path = shortest_path(graph, instance.source, instance.sink)
+    if path is not None and len(path) - 1 <= instance.length_bound:
+        return path
+    return None

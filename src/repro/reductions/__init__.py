@@ -1,0 +1,91 @@
+"""Executable versions of every reduction in the paper.
+
+* Lemma 3.4 — tree-decomposition reduction into ``p-HOM(T*)`` / ``p-HOM(P*)``.
+* Lemmas 3.7 / 3.8 / 3.9 and the composed Reduction Lemma 3.6.
+* Lemma 3.15 — colour coding (``p-EMB`` to ``p-HOM`` of the star expansion).
+* Theorem 3.13 / 5.6 claims — connectivization of embedding instances.
+* Theorem 4.3 / 5.5 hardness — machine acceptance as path / tree
+  homomorphism instances.
+* Theorem 4.7 — the chain through directed paths, ``p-st-PATH`` and odd
+  cycles.
+"""
+
+from repro.reductions.base import EmbInstance, HomInstance, Reduction, StPathInstance
+from repro.reductions.color_coding import ColorCodingReduction
+from repro.reductions.connectivize import (
+    AUX_RELATION,
+    TreeDepthConnectivization,
+    TreewidthConnectivization,
+    connectivize_by_treedepth,
+    connectivize_by_treewidth,
+)
+from repro.reductions.core_star_reduction import (
+    CoreStarReduction,
+    reduce_core_star_instance,
+    reduce_core_star_to_embedding,
+)
+from repro.reductions.gaifman_reduction import GaifmanReduction, reduce_gaifman_instance
+from repro.reductions.machine_to_path import (
+    configuration_graph_to_hom_path,
+    machine_acceptance_to_hom_path,
+)
+from repro.reductions.machine_to_tree import (
+    configuration_graph_to_hom_tree,
+    machine_acceptance_to_hom_tree,
+)
+from repro.reductions.minor_reduction import MinorReduction, reduce_minor_instance
+from repro.reductions.path_chain import (
+    directed_path_to_st_path,
+    hom_pstar_to_colored_odd_cycle,
+    hom_pstar_to_directed_odd_cycle,
+    hom_pstar_to_directed_path,
+    hom_pstar_to_st_path,
+    pad_to_exact_parity,
+    st_path_to_colored_odd_cycle,
+    st_path_to_directed_odd_cycle,
+)
+from repro.reductions.reduction_lemma import ReductionLemmaChain, core_to_full_structure
+from repro.reductions.tree_decomposition_reduction import (
+    TreeDecompositionReduction,
+    hom_count_preserved,
+    reduce_with_decomposition,
+    reduce_with_path_decomposition,
+)
+
+__all__ = [
+    "Reduction",
+    "HomInstance",
+    "EmbInstance",
+    "StPathInstance",
+    "TreeDecompositionReduction",
+    "reduce_with_decomposition",
+    "reduce_with_path_decomposition",
+    "hom_count_preserved",
+    "MinorReduction",
+    "reduce_minor_instance",
+    "GaifmanReduction",
+    "reduce_gaifman_instance",
+    "CoreStarReduction",
+    "reduce_core_star_instance",
+    "reduce_core_star_to_embedding",
+    "ReductionLemmaChain",
+    "core_to_full_structure",
+    "ColorCodingReduction",
+    "TreeDepthConnectivization",
+    "TreewidthConnectivization",
+    "connectivize_by_treedepth",
+    "connectivize_by_treewidth",
+    "AUX_RELATION",
+    "machine_acceptance_to_hom_path",
+    "configuration_graph_to_hom_path",
+    "machine_acceptance_to_hom_tree",
+    "configuration_graph_to_hom_tree",
+    "hom_pstar_to_directed_path",
+    "directed_path_to_st_path",
+    "pad_to_exact_parity",
+    "st_path_to_directed_odd_cycle",
+    "st_path_to_colored_odd_cycle",
+    "hom_pstar_to_st_path",
+    "hom_pstar_to_directed_odd_cycle",
+    "hom_pstar_to_colored_odd_cycle",
+]

@@ -1,0 +1,98 @@
+"""Common infrastructure for the paper's reductions.
+
+Every reduction in the paper is a *pl-reduction*: an instance-to-instance
+map that preserves yes/no answers and whose output parameter is bounded by
+a computable function of the input parameter.  Space usage cannot be
+meaningfully measured on CPython, but both remaining properties can, so
+each reduction here is an object exposing
+
+* :meth:`Reduction.apply` — map an instance to an instance, and
+* :meth:`Reduction.parameter_bound` — the function ``f`` with
+  ``κ'(R(x)) ≤ f(κ(x))``,
+
+and the test-suite checks both answer preservation (against the brute-force
+solver) and the parameter bound on generated instance families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Hashable, Mapping, Optional, TypeVar
+
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+@dataclass(frozen=True)
+class HomInstance:
+    """An instance of ``p-HOM``: a pattern (left) and a target (right) structure.
+
+    The parameter is ``pattern.size()`` (the paper's ``|A|``).
+    """
+
+    pattern: Structure
+    target: Structure
+
+    def parameter(self) -> int:
+        """Return the instance's parameter ``|A|``."""
+        return self.pattern.size()
+
+
+@dataclass(frozen=True)
+class EmbInstance:
+    """An instance of ``p-EMB``: pattern, target, parameter ``|A|``."""
+
+    pattern: Structure
+    target: Structure
+
+    def parameter(self) -> int:
+        """Return the instance's parameter ``|A|``."""
+        return self.pattern.size()
+
+
+@dataclass(frozen=True)
+class StPathInstance:
+    """An instance of ``p-st-PATH``: graph, two endpoints, length bound ``k``.
+
+    The question is whether the graph contains a (simple) path from ``s``
+    to ``t`` with at most ``k`` edges; the parameter is ``k``.
+    """
+
+    graph: "object"  # repro.graphlib.Graph; typed loosely to avoid an import cycle
+    source: Element
+    sink: Element
+    length_bound: int
+
+    def parameter(self) -> int:
+        """Return the instance's parameter ``k``."""
+        return self.length_bound
+
+
+class Reduction:
+    """Base class for executable reductions.
+
+    Subclasses implement :meth:`apply` and :meth:`parameter_bound`; the
+    latter documents (and lets tests verify) the ``κ' ∘ R ≤ f ∘ κ``
+    condition of a pl-reduction.
+    """
+
+    #: Human-readable reference to the statement being implemented.
+    statement: str = ""
+
+    def apply(self, instance):  # pragma: no cover - abstract
+        """Map an input instance to an output instance."""
+        raise NotImplementedError
+
+    def parameter_bound(self, parameter: int) -> int:  # pragma: no cover - abstract
+        """Return an upper bound on the output parameter for inputs of this parameter."""
+        raise NotImplementedError
+
+    def preserves_answer(self, instance, solver_in, solver_out) -> bool:
+        """Check answer preservation on one instance using the given solvers.
+
+        ``solver_in`` and ``solver_out`` map instances to booleans; the
+        method returns True when they agree across the reduction.  Used by
+        the tests and the E3/E4 benchmarks.
+        """
+        return bool(solver_in(instance)) == bool(solver_out(self.apply(instance)))

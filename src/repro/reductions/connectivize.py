@@ -1,0 +1,122 @@
+"""Connectivization (claims inside Theorems 3.13 and 5.6).
+
+Both embedding-membership results first reduce ``p-EMB(A)`` to
+``p-EMB(A')`` where ``A'`` is a *connected* class obtained by expanding
+each structure with one extra binary relation:
+
+* for bounded tree depth (Theorem 3.13): the new relation contains the
+  edges of height-``d`` rooted trees chosen for every connected component
+  of the Gaifman graph, plus edges from the root of the lexicographically
+  least component to the other roots — tree depth grows by at most one;
+* for bounded treewidth (Theorem 5.6): the new relation is
+  ``⋃_t X_t²`` over the bags of a tree decomposition whose adjacent bags
+  overlap — treewidth is unchanged (up to +1) and the structure becomes
+  connected.
+
+The accompanying target expansion interprets the new relation by ``B²``,
+so embeddings are preserved in both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Set, Tuple
+
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.decomposition.treedepth import exact_elimination_forest
+from repro.exceptions import ReductionError
+from repro.graphlib.components import connected_components
+from repro.reductions.base import EmbInstance, Reduction
+from repro.structures.gaifman import gaifman_graph
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+#: Name of the auxiliary relation added by the connectivization.
+AUX_RELATION = "E_aux"
+
+
+class TreeDepthConnectivization(Reduction):
+    """Theorem 3.13's claim: ``p-EMB(A) ≤pl p-EMB(A')`` with ``A'`` connected,
+    tree depth growing by at most one."""
+
+    statement = "Theorem 3.13 (claim)"
+
+    def apply(self, instance: EmbInstance) -> EmbInstance:
+        return connectivize_by_treedepth(instance)
+
+    def parameter_bound(self, parameter: int) -> int:
+        # One new binary relation with fewer than |A| + #components tuples.
+        return 4 * parameter + 4
+
+
+class TreewidthConnectivization(Reduction):
+    """Theorem 5.6's claim: connectivization preserving bounded treewidth."""
+
+    statement = "Theorem 5.6 (claim)"
+
+    def apply(self, instance: EmbInstance) -> EmbInstance:
+        return connectivize_by_treewidth(instance)
+
+    def parameter_bound(self, parameter: int) -> int:
+        # One new binary relation with at most |A|·(w+2)² tuples; w+2 ≤ |A|.
+        return parameter * parameter + 4 * parameter + 4
+
+
+def _expand_pattern(pattern: Structure, aux_edges: Set[Tuple[Element, Element]]) -> Structure:
+    if AUX_RELATION in pattern.vocabulary:
+        raise ReductionError(f"pattern already interprets {AUX_RELATION!r}")
+    symmetric = set(aux_edges) | {(b, a) for a, b in aux_edges}
+    return pattern.expand({AUX_RELATION: 2}, {AUX_RELATION: symmetric})
+
+
+def _expand_target(target: Structure) -> Structure:
+    if AUX_RELATION in target.vocabulary:
+        raise ReductionError(f"target already interprets {AUX_RELATION!r}")
+    full = {(a, b) for a in target.universe for b in target.universe}
+    return target.expand({AUX_RELATION: 2}, {AUX_RELATION: full})
+
+
+def connectivize_by_treedepth(instance: EmbInstance) -> EmbInstance:
+    """Apply the Theorem 3.13 connectivization to one embedding instance."""
+    pattern, target = instance.pattern, instance.target
+    graph = gaifman_graph(pattern)
+    components = connected_components(graph)
+    aux_edges: Set[Tuple[Element, Element]] = set()
+    roots = []
+    for component in components:
+        forest = exact_elimination_forest(graph.subgraph(component))
+        for child, parent in forest.parent.items():
+            aux_edges.add((parent, child))
+        roots.append(min(forest.roots, key=repr))
+    anchor = min(roots, key=repr)
+    for root in roots:
+        if root != anchor:
+            aux_edges.add((anchor, root))
+    return EmbInstance(_expand_pattern(pattern, aux_edges), _expand_target(target))
+
+
+def connectivize_by_treewidth(
+    instance: EmbInstance, decomposition: TreeDecomposition | None = None
+) -> EmbInstance:
+    """Apply the Theorem 5.6 connectivization (bag-clique auxiliary relation)."""
+    pattern, target = instance.pattern, instance.target
+    if decomposition is None:
+        from repro.decomposition.width import optimal_tree_decomposition
+
+        decomposition = optimal_tree_decomposition(pattern)
+    decomposition.validate_for_structure(pattern)
+    aux_edges: Set[Tuple[Element, Element]] = set()
+    # Bag cliques make each bag connected; to connect bags whose vertex sets
+    # are disjoint (the paper assumes overlapping adjacent bags), we also
+    # link an arbitrary representative of adjacent bags.
+    for node in decomposition.tree.vertices:
+        bag = sorted(decomposition.bag(node), key=repr)
+        for i, a in enumerate(bag):
+            for b in bag[i + 1:]:
+                aux_edges.add((a, b))
+    for u, v in decomposition.tree.edge_pairs():
+        bag_u = decomposition.bag(u)
+        bag_v = decomposition.bag(v)
+        if bag_u and bag_v and not (bag_u & bag_v):
+            aux_edges.add((min(bag_u, key=repr), min(bag_v, key=repr)))
+    return EmbInstance(_expand_pattern(pattern, aux_edges), _expand_target(target))

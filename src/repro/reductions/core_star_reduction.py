@@ -1,0 +1,85 @@
+"""Lemma 3.9 and Corollary 3.10: dropping the colours on a core.
+
+Given an instance ``(D*, B)`` where ``D`` is a **core**, the reduction
+outputs ``(D, B')`` where ``B'`` is the substructure of the direct product
+``D × B↾τ(D)`` induced by the pairs ``(d, b)`` with ``b ∈ C_d^B``.  The
+correctness argument uses that ``D`` is a core: the first projection of
+any homomorphism ``D → B'`` is an endomorphism of ``D``, hence bijective,
+and composing with a suitable power makes it the identity — yielding a
+colour-respecting homomorphism ``D* → B``.
+
+Corollary 3.10 observes that the homomorphism constructed in the other
+direction is injective, so the very same output instance also witnesses
+``p-HOM(core(A)*) ≤pl p-EMB(core(A))``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.exceptions import ReductionError
+from repro.homomorphism.cores import is_core
+from repro.reductions.base import EmbInstance, HomInstance, Reduction
+from repro.structures.operations import color_symbol, direct_product, strip_star_expansion
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+class CoreStarReduction(Reduction):
+    """The Lemma 3.9 reduction ``p-HOM(core(A)*) ≤pl p-HOM(core(A))``."""
+
+    statement = "Lemma 3.9"
+
+    def __init__(self, check_core: bool = True) -> None:
+        self._check_core = check_core
+
+    def apply(self, instance: HomInstance) -> HomInstance:
+        return reduce_core_star_instance(instance, check_core=self._check_core)
+
+    def parameter_bound(self, parameter: int) -> int:
+        # The output pattern is the de-starred pattern, which is smaller.
+        return parameter
+
+
+def reduce_core_star_instance(instance: HomInstance, check_core: bool = True) -> HomInstance:
+    """Apply Lemma 3.9: pattern must be ``D*`` for a core ``D``."""
+    pattern_star = instance.pattern
+    target = instance.target
+    pattern = strip_star_expansion(pattern_star)
+    if check_core and not is_core(pattern):
+        raise ReductionError("Lemma 3.9 requires the de-starred pattern to be a core")
+
+    # Restrict the target to the pattern's vocabulary (B* in the paper's notation).
+    shared_names = [name for name in pattern.vocabulary.names() if name in target.vocabulary]
+    if set(shared_names) != set(pattern.vocabulary.names()):
+        raise ReductionError("target does not interpret the pattern's vocabulary")
+    target_restricted = target.restrict_vocabulary(shared_names)
+
+    product = direct_product(pattern, target_restricted)
+    allowed = {
+        (d, b)
+        for d in pattern.universe
+        for (b,) in target.relation(color_symbol(d))
+    }
+    if not allowed:
+        # Every colour class of the target is empty, so the original instance
+        # is a "no".  Structures need a non-empty universe, so we encode the
+        # "no" with a tuple-free single-element target — which only works
+        # when the pattern has at least one tuple to fail on.  A relation-free
+        # single-element core with an empty colour class is a degenerate
+        # corner the paper's construction cannot express either.
+        if pattern.total_tuples() == 0:
+            raise ReductionError(
+                "degenerate instance: relation-free pattern with empty colour classes"
+            )
+        dummy = Structure(pattern.vocabulary, ["__empty__"], {})
+        return HomInstance(pattern, dummy)
+    induced = product.induced_substructure(allowed)
+    return HomInstance(pattern, induced)
+
+
+def reduce_core_star_to_embedding(instance: HomInstance, check_core: bool = True) -> EmbInstance:
+    """Corollary 3.10: the same construction viewed as an embedding instance."""
+    reduced = reduce_core_star_instance(instance, check_core=check_core)
+    return EmbInstance(reduced.pattern, reduced.target)

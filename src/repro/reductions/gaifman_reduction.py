@@ -1,0 +1,95 @@
+"""Lemma 3.8: ``p-HOM(G*) ≤pl p-HOM(A*)`` where ``G`` is the Gaifman graph of ``A``.
+
+Given an instance ``(G*, B)`` where ``G`` is the Gaifman graph of a
+bounded-arity structure ``A``, the reduction outputs ``(A*, B')`` with
+``B' = A × B`` and, for every relation symbol ``R`` of ``A``,
+
+    ``R^{B'} = { ((a₁,b₁),…,(a_r,b_r)) : ā ∈ R^A and (bᵢ,bⱼ) ∈ E^B
+                 whenever aᵢ ≠ aⱼ }``,
+
+plus colours ``C_a^{B'} = {a} × C_a^B``.  Homomorphisms ``A* → B'`` then
+correspond exactly to homomorphisms ``G* → B``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Hashable, Set, Tuple
+
+from repro.exceptions import ReductionError
+from repro.reductions.base import HomInstance, Reduction
+from repro.structures.gaifman import gaifman_graph
+from repro.structures.operations import color_symbol, star_expansion
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+class GaifmanReduction(Reduction):
+    """The Lemma 3.8 reduction for a fixed structure ``A`` (the pre-image of ``G``)."""
+
+    statement = "Lemma 3.8"
+
+    def __init__(self, structure: Structure) -> None:
+        self._structure = structure
+
+    def apply(self, instance: HomInstance) -> HomInstance:
+        return reduce_gaifman_instance(instance, self._structure)
+
+    def parameter_bound(self, parameter: int) -> int:
+        return max(parameter, star_expansion(self._structure).size())
+
+
+def reduce_gaifman_instance(instance: HomInstance, structure: Structure) -> HomInstance:
+    """Apply Lemma 3.8: the pattern of ``instance`` must be ``G*`` for
+    ``G`` the Gaifman graph of ``structure``."""
+    pattern_star = instance.pattern
+    target = instance.target
+    graph = gaifman_graph(structure)
+    pattern_vertices = {
+        element
+        for element in pattern_star.universe
+    }
+    if pattern_vertices != set(graph.vertices):
+        raise ReductionError(
+            "instance pattern universe does not match the Gaifman graph of the structure"
+        )
+
+    universe = [
+        (a, b)
+        for a in sorted(structure.universe, key=repr)
+        for b in sorted(target.universe, key=repr)
+    ]
+    relations: Dict[str, Set[Tuple[Element, ...]]] = {}
+    target_edges = target.relation("E")
+    for symbol in structure.vocabulary:
+        tuples: Set[Tuple[Element, ...]] = set()
+        for source_tuple in structure.relation(symbol.name):
+            positions = range(len(source_tuple))
+            # choose target values for the distinct elements of the tuple
+            distinct = sorted(set(source_tuple), key=repr)
+            from itertools import product as _product
+
+            for values in _product(sorted(target.universe, key=repr), repeat=len(distinct)):
+                assignment = dict(zip(distinct, values))
+                ok = True
+                for i, j in combinations(positions, 2):
+                    if source_tuple[i] != source_tuple[j]:
+                        if (assignment[source_tuple[i]], assignment[source_tuple[j]]) not in target_edges:
+                            ok = False
+                            break
+                if ok:
+                    tuples.add(tuple((x, assignment[x]) for x in source_tuple))
+        relations[symbol.name] = tuples
+
+    extra_symbols: Dict[str, int] = {}
+    for a in structure.universe:
+        symbol = color_symbol(a)
+        extra_symbols[symbol] = 1
+        relations[symbol] = {
+            ((a, b),) for (b,) in target.relation(color_symbol(a))
+        }
+
+    vocabulary = structure.vocabulary.extend(extra_symbols)
+    target_structure = Structure(vocabulary, universe, relations)
+    return HomInstance(star_expansion(structure), target_structure)

@@ -1,0 +1,98 @@
+"""Theorem 4.3 (hardness direction): jump-machine acceptance as ``p-HOM(P*)``.
+
+Given a jump machine ``A`` with jump budget ``f(k)`` and an input ``x``,
+the reduction builds the instance ``(P*_{f(k)+1}, B_x)`` where the target
+``B_x`` is derived from the machine's levelled configuration graph:
+
+* the universe consists of the pairs (level, checkpoint index);
+* two consecutive-level pairs are adjacent when the lower checkpoint
+  *reaches* the upper one through one deterministic run ending in a jump;
+* colour ``C_1`` pins the initial configuration, colour ``C_i`` is the
+  whole level ``i``, and colour ``C_{f(k)+1}`` selects the accepting
+  checkpoints of the last level.
+
+A homomorphism from the coloured path exists exactly when the machine has
+an accepting run using exactly ``f(k)`` jumps — the normal form the
+example machines satisfy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Set, Tuple
+
+from repro.exceptions import ReductionError
+from repro.machines.configuration_graph import (
+    LevelledConfigurationGraph,
+    build_jump_configuration_graph,
+)
+from repro.machines.jump import JumpMachine
+from repro.reductions.base import HomInstance
+from repro.structures.builders import path
+from repro.structures.operations import color_symbol, star_expansion
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import GRAPH_VOCABULARY
+
+Element = Hashable
+
+
+def machine_acceptance_to_hom_path(
+    machine: JumpMachine, input_string: str, max_steps: int = 50_000
+) -> HomInstance:
+    """Return the ``p-HOM(P*)`` instance encoding "the machine accepts the input"."""
+    graph = build_jump_configuration_graph(machine, input_string, max_steps=max_steps)
+    return configuration_graph_to_hom_path(graph, machine.max_jumps)
+
+
+def configuration_graph_to_hom_path(
+    graph: LevelledConfigurationGraph, jumps: int
+) -> HomInstance:
+    """Build ``(P*_{jumps+1}, B_x)`` from a levelled configuration graph."""
+    levels = jumps + 1
+    pattern = star_expansion(path(levels))
+
+    universe = []
+    for level in range(levels):
+        level_checkpoints = graph.levels[level] if level < len(graph.levels) else []
+        for index in range(len(level_checkpoints)):
+            universe.append((level + 1, index))
+    # A target structure must have a non-empty universe even when the
+    # machine's run dies immediately.
+    if not universe:
+        universe.append((0, 0))
+
+    known = set(universe)
+    edges: Set[Tuple[Element, Element]] = set()
+    for level, lower, upper in graph.edges:
+        left = (level + 1, lower)
+        right = (level + 2, upper)
+        if left in known and right in known:
+            edges.add((left, right))
+            edges.add((right, left))
+
+    relations: Dict[str, Set[Tuple[Element, ...]]] = {"E": edges}
+    extra_symbols: Dict[str, int] = {}
+    accepting_last = {
+        (levels, index) for (level, index) in graph.accepting if level == levels - 1
+    }
+    for position in range(1, levels + 1):
+        symbol = color_symbol(position)
+        extra_symbols[symbol] = 1
+        if levels == 1:
+            members = {(element,) for element in accepting_last}
+        elif position == 1:
+            members = {((1, 0),)} if (1, 0) in known else set()
+        elif position == levels:
+            members = {(element,) for element in accepting_last}
+        else:
+            members = {
+                (element,) for element in universe if element[0] == position
+            }
+        relations[symbol] = members
+
+    vocabulary = GRAPH_VOCABULARY.extend(extra_symbols)
+    target = Structure(vocabulary, universe, relations)
+    if set(extra_symbols) != {
+        color_symbol(position) for position in range(1, levels + 1)
+    }:
+        raise ReductionError("colour symbols of the path pattern were not all produced")
+    return HomInstance(pattern, target)

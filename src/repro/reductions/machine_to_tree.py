@@ -1,0 +1,109 @@
+"""Theorem 5.5 (hardness direction): alternating acceptance as ``p-HOM(T*)``.
+
+Given a normalised alternating jump machine (each round = one universal
+guess followed by one jump) and an input, the reduction builds the
+instance ``(T*_r, B)`` where ``T_r`` is the complete binary tree of height
+``r`` (the number of rounds) and the target's universe pairs binary
+strings with checkpoints of the corresponding level:
+
+* ``(σ, j)`` is adjacent to ``(σb, j')`` when checkpoint ``j`` at level
+  ``|σ|`` *b-reaches* checkpoint ``j'`` (take universal branch ``b``, run
+  to the jump, jump);
+* colour ``C_λ`` pins the initial configuration; interior colours are the
+  whole level; leaf colours are the accepting checkpoints of the last
+  level.
+
+A homomorphism from the coloured binary tree exists exactly when the
+machine's alternating computation tree accepts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.machines.alternating import AlternatingJumpMachine
+from repro.machines.configuration_graph import (
+    AlternatingLevelledGraph,
+    build_alternating_configuration_graph,
+)
+from repro.reductions.base import HomInstance
+from repro.structures.builders import binary_strings, complete_binary_tree
+from repro.structures.operations import color_symbol, star_expansion
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import GRAPH_VOCABULARY
+
+Element = Hashable
+
+
+def machine_acceptance_to_hom_tree(
+    machine: AlternatingJumpMachine, input_string: str, max_steps: int = 50_000
+) -> HomInstance:
+    """Return the ``p-HOM(T*)`` instance encoding acceptance of the input."""
+    graph = build_alternating_configuration_graph(machine, input_string, max_steps=max_steps)
+    return configuration_graph_to_hom_tree(graph, machine.max_jumps)
+
+
+def configuration_graph_to_hom_tree(
+    graph: AlternatingLevelledGraph, rounds: int
+) -> HomInstance:
+    """Build ``(T*_rounds, B)`` from an alternating levelled configuration graph."""
+    pattern = star_expansion(complete_binary_tree(rounds))
+    strings = binary_strings(rounds)
+
+    universe: List[Tuple[str, int]] = []
+    for string in strings:
+        level = len(string)
+        level_checkpoints = graph.levels[level] if level < len(graph.levels) else []
+        for index in range(len(level_checkpoints)):
+            universe.append((string, index))
+    if not universe:
+        universe.append(("", 0))
+    known = set(universe)
+
+    edges: Set[Tuple[Element, Element]] = set()
+    for string in strings:
+        level = len(string)
+        if level >= rounds:
+            continue
+        for (edge_level, lower, bit, upper) in graph.edges:
+            if edge_level != level:
+                continue
+            left = (string, lower)
+            right = (string + str(bit), upper)
+            if left in known and right in known:
+                edges.add((left, right))
+                edges.add((right, left))
+
+    relations: Dict[str, Set[Tuple[Element, ...]]] = {"E": edges}
+    extra_symbols: Dict[str, int] = {}
+    accepting_by_level: Dict[int, Set[int]] = {}
+    for level, index in graph.accepting:
+        accepting_by_level.setdefault(level, set()).add(index)
+
+    for string in strings:
+        symbol = color_symbol(string)
+        extra_symbols[symbol] = 1
+        level = len(string)
+        if rounds == 0:
+            members = {
+                ((string, index),)
+                for index in accepting_by_level.get(0, set())
+                if (string, index) in known
+            }
+        elif string == "":
+            members = {(("", 0),)} if ("", 0) in known else set()
+        elif level == rounds:
+            members = {
+                ((string, index),)
+                for index in accepting_by_level.get(level, set())
+                if (string, index) in known
+            }
+        else:
+            members = {
+                (element,) for element in universe if element[0] == string
+            }
+        relations[symbol] = members
+
+    vocabulary = GRAPH_VOCABULARY.extend(extra_symbols)
+    target = Structure(vocabulary, universe, relations)
+    return HomInstance(pattern, target)

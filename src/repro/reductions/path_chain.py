@@ -1,0 +1,194 @@
+"""The reduction chain of Theorem 4.7.
+
+The PATH-complete problems are linked by the chain
+
+    p-HOM(P*)  ≤pl  p-HOM(→P)  ≤pl  p-st-PATH  ≤pl  p-HOM(→C_odd)
+                                       └────────≤pl  p-HOM(C*_odd)  (≤pl p-HOM(C_odd) via Lemma 3.9)
+
+implemented here as individual instance transformations plus composed
+convenience functions.  Two implementation notes:
+
+* The first reduction additionally requires ``(b, b') ∈ E^B`` for
+  consecutive colour classes — the arXiv text omits the edge condition in
+  the displayed definition of ``E^{B'}`` but the correctness argument
+  plainly needs it.
+* The reductions into cycles require the promise "yes ⇔ there is an s-t
+  *walk* of length exactly k".  Instances produced by
+  :func:`directed_path_to_st_path` satisfy it (their layered shape makes
+  every s-t walk at least, and of the same parity as, ``k``), and
+  :func:`pad_to_exact_parity` adjusts the parity by hanging a pendant
+  vertex off the source — the counterpart of the paper's "take a new
+  neighbour of s as the new s".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Set, Tuple
+
+from repro.exceptions import ReductionError
+from repro.graphlib.graph import Graph
+from repro.reductions.base import HomInstance, StPathInstance
+from repro.structures.builders import cycle, directed_cycle, directed_path, structure_digraph
+from repro.structures.operations import color_symbol, star_expansion, strip_star_expansion
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import GRAPH_VOCABULARY
+
+Element = Hashable
+
+
+# ---------------------------------------------------------------------------
+# p-HOM(P*) ≤pl p-HOM(→P)
+# ---------------------------------------------------------------------------
+
+def hom_pstar_to_directed_path(instance: HomInstance) -> HomInstance:
+    """Map ``(P*_k, B)`` to an equivalent ``(→P_k, B')`` instance."""
+    pattern_star = instance.pattern
+    target = instance.target
+    k = len(pattern_star)
+    # Sanity: the pattern must be the starred path on 1..k.
+    if set(pattern_star.universe) != set(range(1, k + 1)):
+        raise ReductionError("pattern must be the starred path P*_k on universe 1..k")
+
+    target_edges = target.relation("E")
+    universe = [
+        (i, b) for i in range(1, k + 1) for b in sorted(target.universe, key=repr)
+    ]
+    arcs: Set[Tuple[Element, Element]] = set()
+    for i in range(1, k):
+        lower = {b for (b,) in target.relation(color_symbol(i))}
+        upper = {b for (b,) in target.relation(color_symbol(i + 1))}
+        for b in lower:
+            for b_prime in upper:
+                if (b, b_prime) in target_edges:
+                    arcs.add(((i, b), (i + 1, b_prime)))
+    new_target = Structure(GRAPH_VOCABULARY, universe, {"E": arcs})
+    return HomInstance(directed_path(k), new_target)
+
+
+# ---------------------------------------------------------------------------
+# p-HOM(→P) ≤pl p-st-PATH
+# ---------------------------------------------------------------------------
+
+def directed_path_to_st_path(instance: HomInstance) -> StPathInstance:
+    """Map ``(→P_k, G)`` to a ``p-st-PATH`` instance with bound ``k + 1``.
+
+    The produced graph is layered, so every ``s``-``t`` path has length at
+    least ``k + 1`` and the same parity; in particular "at most k + 1" and
+    "exactly k + 1" coincide on it.
+    """
+    pattern = instance.pattern
+    target = instance.target
+    k = len(pattern)
+    digraph = structure_digraph(target)
+    source = "__s__"
+    sink = "__t__"
+    vertices = [source, sink] + [(i, u) for i in range(1, k + 1) for u in digraph.vertices]
+    edges = []
+    for i in range(1, k):
+        for (u, v) in digraph.arcs:
+            edges.append(((i, u), (i + 1, v)))
+    for u in digraph.vertices:
+        edges.append((source, (1, u)))
+        edges.append((sink, (k, u)))
+    graph = Graph(vertices, edges)
+    return StPathInstance(graph, source, sink, k + 1)
+
+
+# ---------------------------------------------------------------------------
+# parity padding and the cycle reductions
+# ---------------------------------------------------------------------------
+
+def pad_to_exact_parity(instance: StPathInstance, parity: int) -> StPathInstance:
+    """Force the walk-length bound to the given parity by adding a pendant source.
+
+    The input must satisfy the exact-length promise; hanging a fresh vertex
+    off ``s`` and making it the new source increases every walk length by
+    exactly one, so the output satisfies the promise with the bound
+    incremented.  The paper's counterpart is "take a new neighbour of s as
+    the new s".
+    """
+    if instance.length_bound % 2 == parity % 2:
+        return instance
+    new_source = "__s_pad__"
+    graph: Graph = instance.graph
+    padded = Graph(
+        list(graph.vertices) + [new_source],
+        list(graph.edge_pairs()) + [(new_source, instance.source)],
+    )
+    return StPathInstance(padded, new_source, instance.sink, instance.length_bound + 1)
+
+
+def st_path_to_directed_odd_cycle(instance: StPathInstance) -> HomInstance:
+    """Map an exact-length ``p-st-PATH`` instance to ``(→C_{k+1}, G')``.
+
+    Requires the promise "yes ⇔ there is an s-t walk of length exactly k"
+    with ``k`` *even*, so the produced cycle (on ``k + 1`` vertices) is odd
+    (use :func:`pad_to_exact_parity` with parity 0 first).
+    """
+    k = instance.length_bound
+    if k % 2 == 1:
+        raise ReductionError(
+            "length bound must be even so the cycle is odd; apply pad_to_exact_parity"
+        )
+    graph: Graph = instance.graph
+    m = k + 1  # number of vertices on the closed walk
+    arcs: Set[Tuple[Element, Element]] = set()
+    for i in range(1, m):
+        for u, v in graph.edge_pairs():
+            arcs.add(((i, u), (i + 1, v)))
+            arcs.add(((i, v), (i + 1, u)))
+    arcs.add(((m, instance.sink), (1, instance.source)))
+    universe = [(i, u) for i in range(1, m + 1) for u in graph.vertices]
+    target = Structure(GRAPH_VOCABULARY, universe, {"E": arcs})
+    return HomInstance(directed_cycle(m), target)
+
+
+def st_path_to_colored_odd_cycle(instance: StPathInstance) -> HomInstance:
+    """Map an exact-length odd ``p-st-PATH`` instance to ``(C*_{k+1}, G'')``.
+
+    This is the reduction used for the hardness of ``p-HOM(C_odd)``: compose
+    with Lemma 3.9 (odd cycles are cores) to drop the colours.
+    """
+    directed_instance = st_path_to_directed_odd_cycle(instance)
+    m = len(directed_instance.pattern)
+    if m < 3:
+        raise ReductionError("cycle reductions need a length bound of at least 2")
+    layered = directed_instance.target
+    symmetric_edges: Set[Tuple[Element, Element]] = set()
+    for (a, b) in layered.relation("E"):
+        symmetric_edges.add((a, b))
+        symmetric_edges.add((b, a))
+    relations: Dict[str, Set[Tuple[Element, ...]]] = {"E": symmetric_edges}
+    extra_symbols: Dict[str, int] = {}
+    for i in range(1, m + 1):
+        symbol = color_symbol(i)
+        extra_symbols[symbol] = 1
+        relations[symbol] = {
+            (element,) for element in layered.universe if element[0] == i
+        }
+    vocabulary = GRAPH_VOCABULARY.extend(extra_symbols)
+    target = Structure(vocabulary, layered.universe, relations)
+    return HomInstance(star_expansion(cycle(m)), target)
+
+
+# ---------------------------------------------------------------------------
+# composed chains
+# ---------------------------------------------------------------------------
+
+def hom_pstar_to_st_path(instance: HomInstance) -> StPathInstance:
+    """Compose the first two reductions: ``p-HOM(P*) → p-st-PATH``."""
+    return directed_path_to_st_path(hom_pstar_to_directed_path(instance))
+
+
+def hom_pstar_to_directed_odd_cycle(instance: HomInstance) -> HomInstance:
+    """Compose the full chain down to ``p-HOM(→C_odd)``."""
+    return st_path_to_directed_odd_cycle(
+        pad_to_exact_parity(hom_pstar_to_st_path(instance), 0)
+    )
+
+
+def hom_pstar_to_colored_odd_cycle(instance: HomInstance) -> HomInstance:
+    """Compose the full chain down to ``p-HOM(C*_odd)``."""
+    return st_path_to_colored_odd_cycle(
+        pad_to_exact_parity(hom_pstar_to_st_path(instance), 0)
+    )

@@ -1,0 +1,123 @@
+"""Lemma 3.6 (the Reduction Lemma): the composed hardness-transfer chain.
+
+    p-HOM(M*)  ≤pl  p-HOM(G*)  ≤pl  p-HOM(core(A)*)  ≤pl  p-HOM(core(A))  ≤pl  p-HOM(A)
+
+where ``A`` ranges over a class, ``G`` is the Gaifman graph of ``core(A)``
+and ``M`` is a minor of ``G``.  The chain is what turns excluded-minor
+characterizations (Theorem 2.3) into the hardness directions of the
+Classification Theorem: if the cores have unbounded pathwidth they contain
+every tree as a minor, so ``p-HOM(T*)`` reduces to ``p-HOM(A)``; if they
+have unbounded tree depth they contain every path as a minor, so
+``p-HOM(P*)`` does.
+
+:class:`ReductionLemmaChain` packages the composition for a single class
+member ``A`` and a chosen minor ``M`` of its core's Gaifman graph; the
+tests and benchmark E4 drive instances through it and check that answers
+are preserved end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.exceptions import ReductionError
+from repro.graphlib.graph import Graph
+from repro.homomorphism.cores import core as compute_core
+from repro.minors.minor_map import MinorMap
+from repro.minors.search import find_minor_map
+from repro.reductions.base import HomInstance, Reduction
+from repro.reductions.core_star_reduction import reduce_core_star_instance
+from repro.reductions.gaifman_reduction import reduce_gaifman_instance
+from repro.reductions.minor_reduction import reduce_minor_instance
+from repro.structures.gaifman import gaifman_graph
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+def core_to_full_structure(instance: HomInstance, full_structure: Structure) -> HomInstance:
+    """The last link: ``p-HOM(core(A)) ≤pl p-HOM(A)``.
+
+    Because ``A`` and its core are homomorphically equivalent, the instance
+    ``(core(A), B)`` is equivalent to ``(A, B)`` — the reduction simply
+    swaps the pattern.
+    """
+    return HomInstance(full_structure, instance.target)
+
+
+class ReductionLemmaChain(Reduction):
+    """The composed Lemma 3.6 chain for one class member and one minor.
+
+    Parameters
+    ----------
+    structure:
+        The class member ``A``.
+    minor_pattern:
+        The minor ``M`` (as a graph) whose starred homomorphism problem is
+        being reduced into ``p-HOM(A)``.
+    minor_map:
+        Optional explicit minor map from ``M`` into the Gaifman graph of
+        ``core(A)``; found by search when omitted.
+    """
+
+    statement = "Lemma 3.6"
+
+    def __init__(
+        self,
+        structure: Structure,
+        minor_pattern: Graph,
+        minor_map: Optional[MinorMap] = None,
+    ) -> None:
+        self._structure = structure
+        self._core = compute_core(structure)
+        self._gaifman = gaifman_graph(self._core)
+        self._minor_pattern = minor_pattern
+        if minor_map is None:
+            minor_map = find_minor_map(minor_pattern, self._gaifman)
+            if minor_map is None:
+                raise ReductionError(
+                    "the chosen pattern is not a minor of the core's Gaifman graph"
+                )
+        minor_map.validate(minor_pattern, self._gaifman)
+        self._minor_map = minor_map
+
+    # -- accessors ----------------------------------------------------------------
+    @property
+    def core(self) -> Structure:
+        """The core of the class member."""
+        return self._core
+
+    @property
+    def gaifman(self) -> Graph:
+        """The Gaifman graph of the core."""
+        return self._gaifman
+
+    @property
+    def minor_map(self) -> MinorMap:
+        """The minor map used by the first link."""
+        return self._minor_map
+
+    # -- the chain ------------------------------------------------------------------
+    def apply(self, instance: HomInstance) -> HomInstance:
+        """Map an instance of ``p-HOM(M*)`` to an equivalent instance of ``p-HOM(A)``."""
+        step1 = reduce_minor_instance(instance, self._gaifman, self._minor_map)
+        step2 = reduce_gaifman_instance(step1, self._core)
+        step3 = reduce_core_star_instance(step2)
+        return core_to_full_structure(step3, self._structure)
+
+    def intermediate_instances(self, instance: HomInstance) -> dict:
+        """Return every intermediate instance of the chain (for diagnostics/tests)."""
+        step1 = reduce_minor_instance(instance, self._gaifman, self._minor_map)
+        step2 = reduce_gaifman_instance(step1, self._core)
+        step3 = reduce_core_star_instance(step2)
+        step4 = core_to_full_structure(step3, self._structure)
+        return {
+            "minor (Lemma 3.7)": step1,
+            "gaifman (Lemma 3.8)": step2,
+            "core-star (Lemma 3.9)": step3,
+            "class member": step4,
+        }
+
+    def parameter_bound(self, parameter: int) -> int:
+        # The final pattern is the fixed class member A.
+        return max(parameter, self._structure.size())

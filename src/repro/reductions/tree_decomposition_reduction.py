@@ -1,0 +1,154 @@
+"""Lemma 3.4: reducing ``p-HOM(A)`` to ``p-HOM(R*)`` along tree decompositions.
+
+Given an instance ``(A, B)`` and a width-``w`` tree decomposition of ``A``
+whose tree is ``T``, the reduction outputs ``(T*, B')`` where the universe
+of ``B'`` consists of the *partial homomorphisms* from ``A`` to ``B`` with
+domain of size at most ``w + 1`` (one bag's worth), two of them are
+adjacent when they are compatible as partial functions, and the colour of
+a decomposition node ``t`` selects the partial homomorphisms whose domain
+is exactly the bag ``X_t``.
+
+Remark 3.5 observes that the construction induces a *bijection* between
+the homomorphisms ``A → B`` and the homomorphisms ``T* → B'``; the
+counting classification (Theorem 6.1) leans on this, and
+:func:`hom_count_preserved` lets the tests verify it directly.
+
+When the decomposition is a path decomposition, the output pattern is
+``P*`` — this is the "left-to-right" direction of case 2 of the
+Classification Theorem.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.decomposition.path_decomposition import PathDecomposition
+from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.exceptions import ReductionError
+from repro.homomorphism.backtracking import compatible, is_partial_homomorphism
+from repro.reductions.base import HomInstance, Reduction
+from repro.structures.builders import graph_structure
+from repro.structures.operations import color_symbol, star_expansion
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import GRAPH_VOCABULARY, Vocabulary
+
+Element = Hashable
+PartialMap = Tuple[Tuple[Element, Element], ...]
+
+
+def _partial_homomorphisms_up_to(
+    source: Structure, target: Structure, max_domain: int
+) -> List[Dict[Element, Element]]:
+    """Enumerate partial homomorphisms from source to target with ``|dom| ≤ max_domain``.
+
+    Includes the empty partial homomorphism.  Exponential in ``max_domain``
+    — which is bounded by the decomposition width plus one, i.e. by the
+    parameter, exactly as a pl-reduction allows.
+    """
+    elements = sorted(source.universe, key=repr)
+    result: List[Dict[Element, Element]] = [{}]
+    # Enumerate domains of size 1..max_domain.
+    from itertools import combinations
+
+    for size in range(1, max_domain + 1):
+        for domain in combinations(elements, size):
+            for values in product(sorted(target.universe, key=repr), repeat=size):
+                mapping = dict(zip(domain, values))
+                if is_partial_homomorphism(mapping, source, target):
+                    result.append(mapping)
+    return result
+
+
+def _canonical(mapping: Dict[Element, Element]) -> PartialMap:
+    return tuple(sorted(mapping.items(), key=lambda item: repr(item[0])))
+
+
+class TreeDecompositionReduction(Reduction):
+    """The Lemma 3.4 reduction for a fixed decomposition supplier.
+
+    Parameters
+    ----------
+    decomposition_supplier:
+        Callable mapping the pattern structure to a
+        :class:`TreeDecomposition` of its Gaifman graph.  The paper obtains
+        one by enumerating the class ``R`` of admissible trees; here the
+        caller controls the choice (optimal decomposition, path
+        decomposition, hand-built, ...).
+    """
+
+    statement = "Lemma 3.4"
+
+    def __init__(self, decomposition_supplier) -> None:
+        self._supply = decomposition_supplier
+
+    def apply(self, instance: HomInstance) -> HomInstance:
+        decomposition = self._supply(instance.pattern)
+        return reduce_with_decomposition(instance, decomposition)
+
+    def parameter_bound(self, parameter: int) -> int:
+        # The output pattern is T* for the decomposition tree T, which has at
+        # most |A| nodes (elimination-ordering construction), and the star
+        # expansion adds one unary relation per node.
+        return 4 * parameter * parameter + 4 * parameter + 2
+
+
+def reduce_with_decomposition(
+    instance: HomInstance, decomposition: TreeDecomposition
+) -> HomInstance:
+    """Apply Lemma 3.4 with an explicit tree decomposition of the pattern."""
+    pattern, target = instance.pattern, instance.target
+    decomposition.validate_for_structure(pattern)
+    width_plus_one = decomposition.width() + 1
+
+    partials = _partial_homomorphisms_up_to(pattern, target, width_plus_one)
+    names = {_canonical(mapping): index for index, mapping in enumerate(partials)}
+
+    # The output pattern: the decomposition tree, star-expanded.
+    tree_structure = graph_structure(decomposition.tree)
+    tree_star = star_expansion(tree_structure)
+
+    # The output target B'.
+    edge_tuples = set()
+    for i, left in enumerate(partials):
+        for j, right in enumerate(partials):
+            if i != j and compatible(left, right):
+                edge_tuples.add((i, j))
+                edge_tuples.add((j, i))
+        # A partial homomorphism is always compatible with itself; the paper's
+        # E^{B'} is reflexive on compatible pairs, and self-loops are needed
+        # when adjacent decomposition nodes carry identical bags.
+        edge_tuples.add((i, i))
+
+    relations: Dict[str, set] = {"E": edge_tuples}
+    extra_symbols: Dict[str, int] = {}
+    for node in decomposition.tree.vertices:
+        bag = decomposition.bag(node)
+        symbol = color_symbol(node)
+        extra_symbols[symbol] = 1
+        relations[symbol] = {
+            (names[_canonical(mapping)],)
+            for mapping in partials
+            if frozenset(mapping) == bag
+        }
+
+    vocabulary = GRAPH_VOCABULARY.extend(extra_symbols)
+    target_structure = Structure(vocabulary, range(len(partials)), relations)
+    return HomInstance(tree_star, target_structure)
+
+
+def reduce_with_path_decomposition(
+    instance: HomInstance, decomposition: PathDecomposition
+) -> HomInstance:
+    """Apply Lemma 3.4 with a path decomposition — the output pattern is ``P*``."""
+    return reduce_with_decomposition(instance, decomposition.as_tree_decomposition())
+
+
+def hom_count_preserved(instance: HomInstance, decomposition: TreeDecomposition) -> bool:
+    """Check Remark 3.5 on one instance: homomorphism counts agree across the reduction."""
+    from repro.homomorphism.backtracking import count_homomorphisms
+
+    reduced = reduce_with_decomposition(instance, decomposition)
+    return count_homomorphisms(instance.pattern, instance.target) == count_homomorphisms(
+        reduced.pattern, reduced.target
+    )

@@ -1,0 +1,307 @@
+"""Constructors for the named structure families of the paper.
+
+Section 2.1 introduces the families used throughout the classification:
+
+* directed paths ``→P_k`` and paths ``P_k``;
+* directed cycles ``→C_k`` and cycles ``C_k``;
+* the complete binary "B-structures" ``→B_k`` / ``B_k`` over the universe
+  ``{0,1}^{≤k}`` with successor relations ``S_0``, ``S_1``, and the
+  underlying binary tree ``T_k``;
+* the class ``T`` of trees.
+
+We add grids, cliques, stars and bounded-depth "broom" families because
+they are the canonical witnesses for the three classification degrees and
+for Grohe's W[1]-hard regime (used by the benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import StructureError
+from repro.graphlib.graph import DiGraph, Graph
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import GRAPH_VOCABULARY, Vocabulary
+
+#: Vocabulary of the B-structures: two binary successor relations.
+B_VOCABULARY = Vocabulary({"S0": 2, "S1": 2})
+
+
+# ---------------------------------------------------------------------------
+# graphs and digraphs as structures
+# ---------------------------------------------------------------------------
+
+def graph_structure(graph: Graph) -> Structure:
+    """Encode an undirected graph as an ``{E}``-structure with symmetric E."""
+    if len(graph) == 0:
+        raise StructureError("cannot encode the empty graph as a structure")
+    edges = set()
+    for u, v in graph.edge_pairs():
+        edges.add((u, v))
+        edges.add((v, u))
+    return Structure(GRAPH_VOCABULARY, graph.vertices, {"E": edges})
+
+
+def digraph_structure(digraph: DiGraph) -> Structure:
+    """Encode a directed graph as an ``{E}``-structure."""
+    if len(digraph) == 0:
+        raise StructureError("cannot encode the empty digraph as a structure")
+    return Structure(GRAPH_VOCABULARY, digraph.vertices, {"E": digraph.arcs})
+
+
+def structure_graph(structure: Structure) -> Graph:
+    """Decode an ``{E}``-structure back into its underlying undirected graph.
+
+    Loops are dropped (matching the paper's "graph underlying a directed
+    graph without loops").
+    """
+    if "E" not in structure.vocabulary:
+        raise StructureError("structure has no binary relation E to decode")
+    edges = [(u, v) for u, v in structure.relation("E") if u != v]
+    return Graph(structure.universe, edges)
+
+
+def structure_digraph(structure: Structure) -> DiGraph:
+    """Decode an ``{E}``-structure into a directed graph."""
+    if "E" not in structure.vocabulary:
+        raise StructureError("structure has no binary relation E to decode")
+    return DiGraph(structure.universe, structure.relation("E"))
+
+
+# ---------------------------------------------------------------------------
+# paths and cycles
+# ---------------------------------------------------------------------------
+
+def directed_path(k: int) -> Structure:
+    """Return ``→P_k``: universe [k] with arcs (i, i+1)."""
+    if k < 1:
+        raise StructureError("a directed path needs at least one vertex")
+    arcs = [(i, i + 1) for i in range(1, k)]
+    return Structure(GRAPH_VOCABULARY, range(1, k + 1), {"E": arcs})
+
+
+def path(k: int) -> Structure:
+    """Return ``P_k``: the graph underlying ``→P_k`` (symmetric edges)."""
+    if k < 1:
+        raise StructureError("a path needs at least one vertex")
+    edges = []
+    for i in range(1, k):
+        edges.append((i, i + 1))
+        edges.append((i + 1, i))
+    return Structure(GRAPH_VOCABULARY, range(1, k + 1), {"E": edges})
+
+
+def path_graph(k: int) -> Graph:
+    """Return the path graph on vertices 1..k as a :class:`Graph`."""
+    return Graph(range(1, k + 1), [(i, i + 1) for i in range(1, k)])
+
+
+def directed_cycle(k: int) -> Structure:
+    """Return ``→C_k``: universe [k] with arcs (i, i+1) and (k, 1)."""
+    if k < 2:
+        raise StructureError("a directed cycle needs at least two vertices")
+    arcs = [(i, i + 1) for i in range(1, k)] + [(k, 1)]
+    return Structure(GRAPH_VOCABULARY, range(1, k + 1), {"E": arcs})
+
+
+def cycle(k: int) -> Structure:
+    """Return ``C_k``: the graph underlying ``→C_k``."""
+    if k < 3:
+        raise StructureError("an undirected simple cycle needs at least three vertices")
+    edges = []
+    for i in range(1, k):
+        edges.append((i, i + 1))
+        edges.append((i + 1, i))
+    edges.append((k, 1))
+    edges.append((1, k))
+    return Structure(GRAPH_VOCABULARY, range(1, k + 1), {"E": edges})
+
+
+def cycle_graph(k: int) -> Graph:
+    """Return the cycle graph on vertices 1..k as a :class:`Graph`."""
+    if k < 3:
+        raise StructureError("a cycle graph needs at least three vertices")
+    edges = [(i, i + 1) for i in range(1, k)] + [(k, 1)]
+    return Graph(range(1, k + 1), edges)
+
+
+# ---------------------------------------------------------------------------
+# binary-tree structures B_k / T_k
+# ---------------------------------------------------------------------------
+
+def binary_strings(max_length: int) -> List[str]:
+    """Return all binary strings of length at most ``max_length`` (incl. the empty string)."""
+    if max_length < 0:
+        raise StructureError("max_length must be non-negative")
+    strings = [""]
+    frontier = [""]
+    for _ in range(max_length):
+        frontier = [s + bit for s in frontier for bit in ("0", "1")]
+        strings.extend(frontier)
+    return strings
+
+
+def directed_b_structure(k: int) -> Structure:
+    """Return ``→B_k``: universe {0,1}^{≤k} with relations S0, S1.
+
+    ``S_i`` holds (x, xi) for every string x of length < k.
+    """
+    universe = binary_strings(k)
+    s0 = [(s, s + "0") for s in universe if len(s) < k]
+    s1 = [(s, s + "1") for s in universe if len(s) < k]
+    return Structure(B_VOCABULARY, universe, {"S0": s0, "S1": s1})
+
+
+def b_structure(k: int) -> Structure:
+    """Return ``B_k``: the symmetric closure of ``→B_k`` (relations S0, S1)."""
+    directed = directed_b_structure(k)
+    relations = {}
+    for name in ("S0", "S1"):
+        closed = set()
+        for u, v in directed.relation(name):
+            closed.add((u, v))
+            closed.add((v, u))
+        relations[name] = closed
+    return Structure(B_VOCABULARY, directed.universe, relations)
+
+
+def complete_binary_tree_graph(k: int) -> Graph:
+    """Return ``T_k``: the complete binary tree of height ``k`` as a graph."""
+    universe = binary_strings(k)
+    edges = [(s, s + bit) for s in universe if len(s) < k for bit in ("0", "1")]
+    return Graph(universe, edges)
+
+
+def complete_binary_tree(k: int) -> Structure:
+    """Return ``T_k`` encoded as an ``{E}``-structure (symmetric edges)."""
+    return graph_structure(complete_binary_tree_graph(k))
+
+
+# ---------------------------------------------------------------------------
+# grids, cliques, stars and other benchmark families
+# ---------------------------------------------------------------------------
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """Return the ``rows × cols`` grid graph.
+
+    Grids are the excluded minors characterizing bounded treewidth
+    (Theorem 2.3.1) and the canonical unbounded-treewidth family.
+    """
+    if rows < 1 or cols < 1:
+        raise StructureError("grid dimensions must be positive")
+    vertices = [(r, c) for r in range(rows) for c in range(cols)]
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                edges.append(((r, c), (r + 1, c)))
+            if c + 1 < cols:
+                edges.append(((r, c), (r, c + 1)))
+    return Graph(vertices, edges)
+
+
+def grid(rows: int, cols: int) -> Structure:
+    """Return the grid graph as an ``{E}``-structure."""
+    return graph_structure(grid_graph(rows, cols))
+
+
+def clique_graph(k: int) -> Graph:
+    """Return the complete graph ``K_k``."""
+    if k < 1:
+        raise StructureError("a clique needs at least one vertex")
+    vertices = list(range(1, k + 1))
+    edges = [(i, j) for i in vertices for j in vertices if i < j]
+    return Graph(vertices, edges)
+
+
+def clique(k: int) -> Structure:
+    """Return ``K_k`` as an ``{E}``-structure."""
+    return graph_structure(clique_graph(k))
+
+
+def star_graph(leaves: int) -> Graph:
+    """Return the star with the given number of leaves (tree depth 2)."""
+    if leaves < 0:
+        raise StructureError("number of leaves must be non-negative")
+    centre = 0
+    vertices = [centre] + list(range(1, leaves + 1))
+    edges = [(centre, i) for i in range(1, leaves + 1)]
+    return Graph(vertices, edges)
+
+
+def star(leaves: int) -> Structure:
+    """Return the star graph as an ``{E}``-structure."""
+    return graph_structure(star_graph(leaves))
+
+
+def caterpillar_graph(spine: int, legs_per_vertex: int) -> Graph:
+    """Return a caterpillar: a path of length ``spine`` with pendant legs.
+
+    Caterpillars have pathwidth 1 but tree depth Θ(log spine), so families
+    of growing caterpillars witness the PATH degree (case 2 of Theorem 3.1).
+    """
+    if spine < 1:
+        raise StructureError("spine must have at least one vertex")
+    vertices: List[Hashable] = [("s", i) for i in range(spine)]
+    edges: List[Tuple[Hashable, Hashable]] = [
+        (("s", i), ("s", i + 1)) for i in range(spine - 1)
+    ]
+    for i in range(spine):
+        for leg in range(legs_per_vertex):
+            vertices.append(("l", i, leg))
+            edges.append((("s", i), ("l", i, leg)))
+    return Graph(vertices, edges)
+
+
+def bounded_depth_tree_graph(depth: int, branching: int) -> Graph:
+    """Return the complete ``branching``-ary tree of the given ``depth``.
+
+    With fixed ``depth`` and growing ``branching`` this family has bounded
+    tree depth (= depth + 1) and unbounded size — the canonical para-L
+    family (case 3 of Theorem 3.1).
+    """
+    if depth < 0 or branching < 1:
+        raise StructureError("depth must be >= 0 and branching >= 1")
+    vertices: List[Tuple[int, ...]] = [()]
+    edges: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+    frontier: List[Tuple[int, ...]] = [()]
+    for _ in range(depth):
+        next_frontier = []
+        for node in frontier:
+            for child_index in range(branching):
+                child = node + (child_index,)
+                vertices.append(child)
+                edges.append((node, child))
+                next_frontier.append(child)
+        frontier = next_frontier
+    return Graph(vertices, edges)
+
+
+def tree_structure_from_parent(parents: Sequence[int]) -> Structure:
+    """Build a tree ``{E}``-structure from a parent array.
+
+    ``parents[i]`` is the parent of vertex ``i`` (``parents[0]`` is ignored;
+    vertex 0 is the root).  Useful for deterministic random-tree workloads.
+    """
+    n = len(parents)
+    if n == 0:
+        raise StructureError("parent array must be non-empty")
+    edges = []
+    for child in range(1, n):
+        parent = parents[child]
+        if not 0 <= parent < child:
+            raise StructureError("parents[i] must point to an earlier vertex")
+        edges.append((parent, child))
+    return graph_structure(Graph(range(n), edges))
+
+
+def disjoint_union_graph(graphs: Iterable[Graph]) -> Graph:
+    """Return the disjoint union of graphs, tagging vertices with their index."""
+    vertices = []
+    edges = []
+    for index, graph in enumerate(graphs):
+        for v in graph.vertices:
+            vertices.append((index, v))
+        for u, v in graph.edge_pairs():
+            edges.append(((index, u), (index, v)))
+    return Graph(vertices, edges)

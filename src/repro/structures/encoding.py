@@ -1,0 +1,86 @@
+"""Binary and textual encodings of relational structures.
+
+The paper measures instance length as the length of a "reasonable binary
+encoding" of the pair ``(A, B)`` — roughly ``O(|A| log |A|)`` bits per
+structure.  The machine substrate (:mod:`repro.machines`) consumes such
+encodings on its read-only input tape, and the space-accounting
+experiments report sizes in encoded bits.
+
+Two encodings are provided:
+
+* :func:`encode_structure` / :func:`decode_structure` — a canonical,
+  reversible textual encoding (element names are replaced by indices).
+* :func:`encode_bits` — the corresponding binary string, for input-tape
+  lengths.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Hashable, List, Tuple
+
+from repro.exceptions import StructureError
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+Element = Hashable
+
+
+def canonical_element_order(structure: Structure) -> List[Element]:
+    """Return a deterministic ordering of the universe (sorted by repr)."""
+    return sorted(structure.universe, key=repr)
+
+
+def encode_structure(structure: Structure) -> str:
+    """Return a canonical JSON encoding of the structure.
+
+    Elements are replaced by their index in :func:`canonical_element_order`,
+    so two equal structures always produce identical encodings.
+    """
+    order = canonical_element_order(structure)
+    index: Dict[Element, int] = {element: i for i, element in enumerate(order)}
+    payload = {
+        "vocabulary": {symbol.name: symbol.arity for symbol in structure.vocabulary},
+        "universe_size": len(order),
+        "relations": {
+            symbol.name: sorted(
+                [index[x] for x in tup] for tup in structure.relation(symbol.name)
+            )
+            for symbol in structure.vocabulary
+        },
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def decode_structure(encoded: str) -> Structure:
+    """Rebuild a structure from :func:`encode_structure` output.
+
+    Universe elements become the integers ``0 .. n-1``.
+    """
+    try:
+        payload = json.loads(encoded)
+        vocabulary = Vocabulary(payload["vocabulary"])
+        size = int(payload["universe_size"])
+        relations: Dict[str, List[Tuple[int, ...]]] = {
+            name: [tuple(tup) for tup in tuples]
+            for name, tuples in payload["relations"].items()
+        }
+    except (KeyError, TypeError, ValueError) as error:
+        raise StructureError(f"malformed structure encoding: {error}") from error
+    return Structure(vocabulary, range(size), relations)
+
+
+def encode_bits(structure: Structure) -> str:
+    """Return a binary-string encoding (each encoded byte as 8 bits)."""
+    text = encode_structure(structure)
+    return "".join(format(byte, "08b") for byte in text.encode("utf-8"))
+
+
+def encoded_length(structure: Structure) -> int:
+    """Return the length in bits of the binary encoding of the structure."""
+    return 8 * len(encode_structure(structure).encode("utf-8"))
+
+
+def encode_instance(left: Structure, right: Structure) -> str:
+    """Encode a ``p-HOM`` instance ``(A, B)`` as a single binary string."""
+    return encode_bits(left) + "01" * 4 + encode_bits(right)

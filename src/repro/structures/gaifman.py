@@ -1,0 +1,38 @@
+"""Gaifman graphs of relational structures.
+
+The Gaifman graph of a structure ``A`` (Section 2.2) has vertex set ``A``
+and an edge between two distinct elements whenever they co-occur in some
+tuple of some relation.  All width measures of a structure (treewidth,
+pathwidth, tree depth) are defined as the corresponding measure of its
+Gaifman graph.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Set, Tuple
+
+from repro.graphlib.graph import Graph
+from repro.structures.structure import Structure
+
+
+def gaifman_graph(structure: Structure) -> Graph:
+    """Return the Gaifman graph of ``structure``."""
+    edges: Set[Tuple[object, object]] = set()
+    for symbol in structure.vocabulary:
+        for tup in structure.relation(symbol.name):
+            distinct = set(tup)
+            for a, b in combinations(sorted(distinct, key=repr), 2):
+                edges.add((a, b))
+    return Graph(structure.universe, edges)
+
+
+def is_connected_structure(structure: Structure) -> bool:
+    """Return True when the structure's Gaifman graph is connected.
+
+    This is the notion of "connected structure" used by Lemma 3.15 and the
+    connectivization constructions of Theorems 3.13 and 5.6.
+    """
+    from repro.graphlib.components import is_connected
+
+    return is_connected(gaifman_graph(structure))

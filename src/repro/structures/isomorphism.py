@@ -1,0 +1,123 @@
+"""Isomorphism testing for small relational structures.
+
+Classes of structures in the paper are defined "up to isomorphism" (e.g.
+the class ``P`` of paths consists of structures isomorphic to some
+``P_k``).  The classifier and several tests therefore need an isomorphism
+check.  The implementation is a straightforward backtracking search with
+degree/colour invariant pruning — adequate for the parameter-sized
+left-hand structures the library manipulates (these are never large).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+def _invariant(structure: Structure, element: Element) -> tuple:
+    """A cheap isomorphism-invariant signature of an element."""
+    signature = []
+    for symbol in structure.vocabulary:
+        tuples = structure.relation(symbol.name)
+        occurrence_positions = sorted(
+            position for tup in tuples for position, x in enumerate(tup) if x == element
+        )
+        signature.append((symbol.name, len(occurrence_positions), tuple(occurrence_positions)))
+    return tuple(signature)
+
+
+def _extends_to_isomorphism(
+    left: Structure,
+    right: Structure,
+    assignment: Dict[Element, Element],
+    used: set,
+    order: List[Element],
+    invariants_left: Dict[Element, tuple],
+    invariants_right: Dict[Element, tuple],
+) -> bool:
+    if len(assignment) == len(order):
+        return _is_relation_preserving_bijection(left, right, assignment)
+    element = order[len(assignment)]
+    for candidate in right.universe:
+        if candidate in used:
+            continue
+        if invariants_left[element] != invariants_right[candidate]:
+            continue
+        assignment[element] = candidate
+        used.add(candidate)
+        if _partial_consistent(left, right, assignment):
+            if _extends_to_isomorphism(
+                left, right, assignment, used, order, invariants_left, invariants_right
+            ):
+                return True
+        del assignment[element]
+        used.remove(candidate)
+    return False
+
+
+def _partial_consistent(
+    left: Structure, right: Structure, assignment: Dict[Element, Element]
+) -> bool:
+    """Check tuples fully inside the assigned domain map both ways correctly."""
+    domain = set(assignment)
+    image = set(assignment.values())
+    inverse = {v: k for k, v in assignment.items()}
+    for symbol in left.vocabulary:
+        right_tuples = right.relation(symbol.name)
+        for tup in left.relation(symbol.name):
+            if all(x in domain for x in tup):
+                if tuple(assignment[x] for x in tup) not in right_tuples:
+                    return False
+        left_tuples = left.relation(symbol.name)
+        for tup in right_tuples:
+            if all(y in image for y in tup):
+                if tuple(inverse[y] for y in tup) not in left_tuples:
+                    return False
+    return True
+
+
+def _is_relation_preserving_bijection(
+    left: Structure, right: Structure, assignment: Dict[Element, Element]
+) -> bool:
+    inverse = {v: k for k, v in assignment.items()}
+    if len(inverse) != len(assignment):
+        return False
+    for symbol in left.vocabulary:
+        mapped = {tuple(assignment[x] for x in tup) for tup in left.relation(symbol.name)}
+        if mapped != right.relation(symbol.name):
+            return False
+    return True
+
+
+def find_isomorphism(left: Structure, right: Structure) -> Optional[Dict[Element, Element]]:
+    """Return an isomorphism ``left → right`` or None when none exists."""
+    if left.vocabulary != right.vocabulary:
+        return None
+    if len(left) != len(right):
+        return None
+    for symbol in left.vocabulary:
+        if len(left.relation(symbol.name)) != len(right.relation(symbol.name)):
+            return None
+    invariants_left = {a: _invariant(left, a) for a in left.universe}
+    invariants_right = {b: _invariant(right, b) for b in right.universe}
+    if sorted(invariants_left.values()) != sorted(invariants_right.values()):
+        return None
+    # Order elements by rarity of their invariant to fail fast.
+    counts: Dict[tuple, int] = {}
+    for value in invariants_right.values():
+        counts[value] = counts.get(value, 0) + 1
+    order = sorted(left.universe, key=lambda a: (counts[invariants_left[a]], repr(a)))
+    assignment: Dict[Element, Element] = {}
+    if _extends_to_isomorphism(
+        left, right, assignment, set(), order, invariants_left, invariants_right
+    ):
+        return dict(assignment)
+    return None
+
+
+def are_isomorphic(left: Structure, right: Structure) -> bool:
+    """Return True when the two structures are isomorphic."""
+    return find_isomorphism(left, right) is not None

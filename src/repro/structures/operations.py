@@ -1,0 +1,135 @@
+"""Operations on relational structures used by the paper's reductions.
+
+* ``star_expansion(A)`` — the paper's ``A*``: add a fresh unary relation
+  ``C_a = {a}`` for every element ``a`` (Section 2.1).
+* ``direct_product(A, B)`` — the categorical product used in Lemma 3.9 and
+  Lemma 6.2.
+* ``disjoint_union(structures)`` — used by the colour-coding reduction
+  (Lemma 3.15) which builds a disjoint union of expansions ``B_f``.
+* ``symmetric_closure(A)`` — close every binary relation under symmetry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.exceptions import StructureError, VocabularyError
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+Element = Hashable
+
+
+def color_symbol(element: Element) -> str:
+    """Return the name of the unary "colour" symbol ``C_a`` for element ``a``.
+
+    The name is derived from ``repr(element)`` so that distinct elements of
+    a structure's universe get distinct symbols.
+    """
+    return f"C[{element!r}]"
+
+
+def star_expansion(structure: Structure) -> Structure:
+    """Return the paper's ``A*``: expand ``A`` by ``C_a = {a}`` for each ``a ∈ A``.
+
+    The vocabulary is extended by one fresh unary symbol per element.
+    Structures of the form ``A*`` are cores (Example 2.1) because every
+    element is pinned by its own colour.
+    """
+    extra_symbols = {color_symbol(a): 1 for a in structure.universe}
+    clash = set(extra_symbols) & set(structure.vocabulary.names())
+    if clash:
+        raise VocabularyError(f"colour symbols already present: {clash!r}")
+    extra_relations = {color_symbol(a): {(a,)} for a in structure.universe}
+    return structure.expand(extra_symbols, extra_relations)
+
+
+def is_star_expansion(structure: Structure) -> bool:
+    """Return True when the structure interprets a singleton colour per element."""
+    for element in structure.universe:
+        name = color_symbol(element)
+        if name not in structure.vocabulary:
+            return False
+        if structure.relation(name) != frozenset({(element,)}):
+            return False
+    return True
+
+
+def strip_star_expansion(structure: Structure) -> Structure:
+    """Return the restriction of ``A*`` back to its original vocabulary."""
+    colour_names = {
+        name
+        for name in structure.vocabulary.names()
+        if name.startswith("C[") and structure.vocabulary.arity(name) == 1
+    }
+    keep = [name for name in structure.vocabulary.names() if name not in colour_names]
+    if not keep:
+        raise StructureError("stripping colours would leave an empty vocabulary")
+    return structure.restrict_vocabulary(keep)
+
+
+def direct_product(left: Structure, right: Structure) -> Structure:
+    """Return the direct product ``A × B`` of two same-vocabulary structures.
+
+    The universe is the cartesian product and a tuple of pairs is in
+    ``R^{A×B}`` iff its left projection is in ``R^A`` and its right
+    projection is in ``R^B``.
+    """
+    if left.vocabulary != right.vocabulary:
+        raise VocabularyError("direct product requires identical vocabularies")
+    universe = [(a, b) for a in left.universe for b in right.universe]
+    relations: Dict[str, Set[Tuple[Element, ...]]] = {}
+    for symbol in left.vocabulary:
+        tuples: Set[Tuple[Element, ...]] = set()
+        for left_tuple in left.relation(symbol.name):
+            for right_tuple in right.relation(symbol.name):
+                tuples.add(tuple(zip(left_tuple, right_tuple)))
+        relations[symbol.name] = tuples
+    return Structure(left.vocabulary, universe, relations)
+
+
+def disjoint_union(structures: Sequence[Structure]) -> Structure:
+    """Return the disjoint union of same-vocabulary structures.
+
+    Elements are tagged with the index of the structure they come from, so
+    the universes never collide.
+    """
+    if not structures:
+        raise StructureError("disjoint union of zero structures is undefined")
+    vocabulary = structures[0].vocabulary
+    for structure in structures[1:]:
+        if structure.vocabulary != vocabulary:
+            raise VocabularyError("disjoint union requires identical vocabularies")
+    universe: List[Tuple[int, Element]] = []
+    relations: Dict[str, Set[Tuple[Element, ...]]] = {
+        symbol.name: set() for symbol in vocabulary
+    }
+    for index, structure in enumerate(structures):
+        for element in structure.universe:
+            universe.append((index, element))
+        for symbol in vocabulary:
+            for tup in structure.relation(symbol.name):
+                relations[symbol.name].add(tuple((index, x) for x in tup))
+    return Structure(vocabulary, universe, relations)
+
+
+def symmetric_closure(structure: Structure) -> Structure:
+    """Return the structure with every binary relation closed under symmetry."""
+    relations: Dict[str, Iterable[Tuple[Element, ...]]] = {}
+    for symbol in structure.vocabulary:
+        tuples = structure.relation(symbol.name)
+        if symbol.arity == 2:
+            closed = set(tuples)
+            closed.update((b, a) for a, b in tuples)
+            relations[symbol.name] = closed
+        else:
+            relations[symbol.name] = tuples
+    return Structure(structure.vocabulary, structure.universe, relations)
+
+
+def merge_vocabularies(left: Structure, right: Structure) -> Vocabulary:
+    """Return the union vocabulary of two structures (arities must agree)."""
+    merged = {symbol.name: symbol.arity for symbol in left.vocabulary}
+    return Vocabulary(merged).extend(
+        {symbol.name: symbol.arity for symbol in right.vocabulary}
+    )

@@ -1,0 +1,137 @@
+"""Seeded random generators for structures and graphs.
+
+All generators take an explicit :class:`random.Random` (or a seed) so that
+tests and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional, Tuple
+
+from repro.exceptions import StructureError
+from repro.graphlib.graph import Graph
+from repro.structures.builders import graph_structure
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+
+def _rng(seed_or_rng: Optional[random.Random | int]) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def random_graph(
+    n: int, edge_probability: float, seed: Optional[random.Random | int] = None
+) -> Graph:
+    """Return a G(n, p) random graph on vertices 0..n-1."""
+    if n < 1:
+        raise StructureError("random graph needs at least one vertex")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise StructureError("edge probability must lie in [0, 1]")
+    rng = _rng(seed)
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < edge_probability
+    ]
+    return Graph(range(n), edges)
+
+
+def random_graph_structure(
+    n: int, edge_probability: float, seed: Optional[random.Random | int] = None
+) -> Structure:
+    """Return a random graph encoded as an ``{E}``-structure."""
+    return graph_structure(random_graph(n, edge_probability, seed))
+
+
+def random_tree_graph(n: int, seed: Optional[random.Random | int] = None) -> Graph:
+    """Return a uniformly-ish random tree on n vertices (random parent model)."""
+    if n < 1:
+        raise StructureError("random tree needs at least one vertex")
+    rng = _rng(seed)
+    edges = [(rng.randrange(0, i), i) for i in range(1, n)]
+    return Graph(range(n), edges)
+
+
+def random_structure(
+    vocabulary: Vocabulary,
+    n: int,
+    tuples_per_relation: int,
+    seed: Optional[random.Random | int] = None,
+) -> Structure:
+    """Return a random structure with roughly the requested tuple counts."""
+    if n < 1:
+        raise StructureError("random structure needs at least one element")
+    rng = _rng(seed)
+    universe = list(range(n))
+    relations = {}
+    for symbol in vocabulary:
+        tuples = set()
+        for _ in range(tuples_per_relation):
+            tuples.add(tuple(rng.choice(universe) for _ in range(symbol.arity)))
+        relations[symbol.name] = tuples
+    return Structure(vocabulary, universe, relations)
+
+
+def random_colored_target(
+    pattern: Structure,
+    n: int,
+    edge_probability: float,
+    seed: Optional[random.Random | int] = None,
+) -> Structure:
+    """Return a target structure for ``p-HOM(A*)`` instances.
+
+    Builds a random graph-like target over the pattern's vocabulary plus
+    random interpretations of the pattern's colour relations, suitable for
+    exercising the star-expansion solvers.
+    """
+    rng = _rng(seed)
+    universe = list(range(n))
+    relations = {}
+    for symbol in pattern.vocabulary:
+        if symbol.arity == 1:
+            size = max(1, n // max(1, len(pattern)))
+            relations[symbol.name] = {(rng.choice(universe),) for _ in range(size)}
+        elif symbol.arity == 2:
+            relations[symbol.name] = {
+                (i, j)
+                for i in universe
+                for j in universe
+                if i != j and rng.random() < edge_probability
+            }
+        else:
+            relations[symbol.name] = {
+                tuple(rng.choice(universe) for _ in range(symbol.arity))
+                for _ in range(n)
+            }
+    return Structure(pattern.vocabulary, universe, relations)
+
+
+def planted_homomorphism_target(
+    pattern: Structure,
+    n: int,
+    noise_edges: int,
+    seed: Optional[random.Random | int] = None,
+) -> Structure:
+    """Return a target that is guaranteed to admit a homomorphism from ``pattern``.
+
+    The target contains a "planted" copy of the pattern (under the identity
+    on a subset of 0..n-1) plus random noise tuples, so yes-instances of
+    controllable size can be generated for benchmarks.
+    """
+    if n < len(pattern):
+        raise StructureError("target must be at least as large as the pattern")
+    rng = _rng(seed)
+    order = sorted(pattern.universe, key=repr)
+    placement = {element: i for i, element in enumerate(order)}
+    universe = list(range(n))
+    relations = {}
+    for symbol in pattern.vocabulary:
+        tuples = {tuple(placement[x] for x in tup) for tup in pattern.relation(symbol.name)}
+        for _ in range(noise_edges):
+            tuples.add(tuple(rng.choice(universe) for _ in range(symbol.arity)))
+        relations[symbol.name] = tuples
+    return Structure(pattern.vocabulary, universe, relations)

@@ -1,0 +1,48 @@
+"""Workload generators for benchmarks and tests: structure families with
+known degrees and target-side instance generators."""
+
+from repro.workloads.families import (
+    EXPECTED_DEGREES,
+    all_family_names,
+    b_structure_family,
+    bounded_depth_family,
+    caterpillar_family,
+    clique_family,
+    directed_b_family,
+    directed_cycle_family,
+    directed_path_family,
+    family_by_name,
+    grid_family,
+    odd_cycle_family,
+    star_family,
+    starred_grid_family,
+    starred_paths_family,
+    starred_trees_family,
+)
+from repro.workloads.targets import (
+    colored_path_target,
+    emb_instances_for_pattern,
+    hom_instances_for_pattern,
+)
+
+__all__ = [
+    "EXPECTED_DEGREES",
+    "family_by_name",
+    "all_family_names",
+    "bounded_depth_family",
+    "star_family",
+    "directed_path_family",
+    "directed_cycle_family",
+    "odd_cycle_family",
+    "caterpillar_family",
+    "starred_paths_family",
+    "starred_trees_family",
+    "b_structure_family",
+    "directed_b_family",
+    "grid_family",
+    "starred_grid_family",
+    "clique_family",
+    "hom_instances_for_pattern",
+    "emb_instances_for_pattern",
+    "colored_path_target",
+]

@@ -1,0 +1,88 @@
+"""Target-side workload generators for benchmarks.
+
+The right-hand structures of ``p-HOM`` instances ("the database") drive the
+running time of every algorithm in the library, so the benchmark harness
+needs target families of controllable size and density, plus planted
+yes-instances so both answers are exercised.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.reductions.base import EmbInstance, HomInstance
+from repro.structures.operations import color_symbol
+from repro.structures.random_gen import (
+    planted_homomorphism_target,
+    random_colored_target,
+    random_graph_structure,
+)
+from repro.structures.structure import Structure
+
+
+def hom_instances_for_pattern(
+    pattern: Structure,
+    sizes: List[int],
+    edge_probability: float = 0.3,
+    planted: bool = True,
+    seed: int = 0,
+) -> List[HomInstance]:
+    """Return one ``p-HOM`` instance per target size for a fixed pattern.
+
+    With ``planted=True`` the targets contain a copy of the pattern (so the
+    instances are yes-instances of growing size); otherwise the targets are
+    uniform random structures over the pattern's vocabulary.
+    """
+    instances = []
+    for index, size in enumerate(sizes):
+        if planted:
+            target = planted_homomorphism_target(
+                pattern, size, noise_edges=size, seed=seed + index
+            )
+        else:
+            target = random_colored_target(
+                pattern, size, edge_probability, seed=seed + index
+            )
+        instances.append(HomInstance(pattern, target))
+    return instances
+
+
+def colored_path_target(k: int, width: int, edge_probability: float, seed: int = 0) -> Structure:
+    """Return a layered target for ``p-HOM(P*_k)`` with ``width`` choices per layer.
+
+    Layer ``i`` carries the colour ``C_i``; edges join consecutive layers
+    with the given probability.  Yes/no status is random, which is what
+    the PATH benchmarks want.
+    """
+    from repro.structures.builders import path
+    from repro.structures.operations import star_expansion
+    from repro.structures.vocabulary import GRAPH_VOCABULARY
+
+    rng = random.Random(seed)
+    pattern = star_expansion(path(k))
+    universe = [(i, j) for i in range(1, k + 1) for j in range(width)]
+    edges = set()
+    for i in range(1, k):
+        for a in range(width):
+            for b in range(width):
+                if rng.random() < edge_probability:
+                    edges.add(((i, a), (i + 1, b)))
+                    edges.add(((i + 1, b), (i, a)))
+    relations = {"E": edges}
+    extra = {}
+    for i in range(1, k + 1):
+        extra[color_symbol(i)] = 1
+        relations[color_symbol(i)] = {((i, j),) for j in range(width)}
+    vocabulary = GRAPH_VOCABULARY.extend(extra)
+    return Structure(vocabulary, universe, relations)
+
+
+def emb_instances_for_pattern(
+    pattern: Structure, sizes: List[int], edge_probability: float = 0.4, seed: int = 0
+) -> List[EmbInstance]:
+    """Return embedding instances with random graph targets of the given sizes."""
+    return [
+        EmbInstance(pattern, random_graph_structure(size, edge_probability, seed + index))
+        for index, size in enumerate(sizes)
+    ]

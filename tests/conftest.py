@@ -1,0 +1,87 @@
+"""Shared pytest fixtures and path setup.
+
+The repository is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` in offline environments); as a convenience the
+``src`` layout is also added to ``sys.path`` so the suite runs from a bare
+checkout.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.structures import (  # noqa: E402  (import after path setup)
+    GRAPH_VOCABULARY,
+    Structure,
+    Vocabulary,
+    cycle,
+    graph_structure,
+    path,
+    random_graph_structure,
+    star_expansion,
+)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests that need randomness."""
+    return random.Random(20130625)
+
+
+@pytest.fixture
+def triangle() -> Structure:
+    """The 3-cycle (triangle) as an {E}-structure."""
+    return cycle(3)
+
+
+@pytest.fixture
+def square() -> Structure:
+    """The 4-cycle as an {E}-structure."""
+    return cycle(4)
+
+
+@pytest.fixture
+def path4() -> Structure:
+    """The 4-vertex path as an {E}-structure."""
+    return path(4)
+
+
+@pytest.fixture
+def small_targets() -> list:
+    """A deterministic pool of small random graph targets."""
+    return [random_graph_structure(n, p, seed) for seed, (n, p) in
+            enumerate([(4, 0.4), (5, 0.5), (6, 0.3), (5, 0.7), (6, 0.5)])]
+
+
+def colored_target_for(pattern_star: Structure, size: int, edge_probability: float, seed: int) -> Structure:
+    """Build a random target over a starred pattern's vocabulary (shared helper)."""
+    rng_local = random.Random(seed)
+    universe = list(range(size))
+    edges = {
+        (i, j)
+        for i in universe
+        for j in universe
+        if i != j and rng_local.random() < edge_probability
+    }
+    edges |= {(j, i) for (i, j) in edges}
+    relations = {"E": edges}
+    for name in pattern_star.vocabulary.names():
+        if name != "E":
+            relations[name] = {
+                (rng_local.choice(universe),) for _ in range(max(1, size // 3))
+            }
+    return Structure(pattern_star.vocabulary, universe, relations)
+
+
+@pytest.fixture
+def colored_target_factory():
+    """Fixture exposing :func:`colored_target_for` to tests."""
+    return colored_target_for

@@ -1,0 +1,157 @@
+"""Tests for the named structure families and structural operations."""
+
+import pytest
+
+from repro.exceptions import StructureError, VocabularyError
+from repro.graphlib import is_connected, is_cycle_graph, is_path_graph, is_tree
+from repro.structures import (
+    b_structure,
+    binary_strings,
+    bounded_depth_tree_graph,
+    caterpillar_graph,
+    clique_graph,
+    complete_binary_tree_graph,
+    cycle,
+    cycle_graph,
+    digraph_structure,
+    direct_product,
+    directed_b_structure,
+    directed_cycle,
+    directed_path,
+    disjoint_union,
+    grid_graph,
+    graph_structure,
+    is_star_expansion,
+    path,
+    path_graph,
+    star_expansion,
+    star_graph,
+    strip_star_expansion,
+    structure_digraph,
+    structure_graph,
+    symmetric_closure,
+    tree_structure_from_parent,
+)
+
+
+class TestBuilders:
+    def test_directed_path_arcs(self):
+        structure = directed_path(4)
+        assert structure.relation("E") == frozenset({(1, 2), (2, 3), (3, 4)})
+
+    def test_path_is_symmetric(self):
+        structure = path(4)
+        assert (1, 2) in structure.relation("E") and (2, 1) in structure.relation("E")
+        assert is_path_graph(structure_graph(structure))
+
+    def test_cycle_shapes(self):
+        assert is_cycle_graph(structure_graph(cycle(5)))
+        assert directed_cycle(3).relation("E") == frozenset({(1, 2), (2, 3), (3, 1)})
+
+    def test_binary_strings(self):
+        assert set(binary_strings(1)) == {"", "0", "1"}
+        assert len(binary_strings(3)) == 2 ** 4 - 1
+
+    def test_b_structures(self):
+        directed = directed_b_structure(2)
+        assert ("", "0") in directed.relation("S0")
+        assert ("0", "") not in directed.relation("S0")
+        symmetric = b_structure(2)
+        assert ("0", "") in symmetric.relation("S0")
+        assert len(symmetric) == 7
+
+    def test_complete_binary_tree(self):
+        graph = complete_binary_tree_graph(3)
+        assert is_tree(graph)
+        assert len(graph) == 15
+
+    def test_grid_and_clique(self):
+        grid = grid_graph(3, 4)
+        assert len(grid) == 12
+        assert grid.has_edge((0, 0), (0, 1)) and grid.has_edge((0, 0), (1, 0))
+        clique = clique_graph(4)
+        assert clique.number_of_edges() == 6
+
+    def test_star_and_caterpillar(self):
+        assert star_graph(5).degree(0) == 5
+        caterpillar = caterpillar_graph(4, 2)
+        assert is_tree(caterpillar)
+        assert len(caterpillar) == 4 + 8
+
+    def test_bounded_depth_tree(self):
+        graph = bounded_depth_tree_graph(2, 3)
+        assert is_tree(graph)
+        assert len(graph) == 1 + 3 + 9
+
+    def test_tree_from_parent_array(self):
+        structure = tree_structure_from_parent([0, 0, 0, 1])
+        assert is_tree(structure_graph(structure))
+        with pytest.raises(StructureError):
+            tree_structure_from_parent([0, 2])
+
+    def test_graph_structure_roundtrip(self):
+        graph = cycle_graph(5)
+        assert structure_graph(graph_structure(graph)) == graph
+
+    def test_digraph_structure_roundtrip(self):
+        structure = directed_cycle(4)
+        assert digraph_structure(structure_digraph(structure)) == structure
+
+    def test_invalid_sizes(self):
+        with pytest.raises(StructureError):
+            directed_path(0)
+        with pytest.raises(StructureError):
+            cycle(2)
+        with pytest.raises(StructureError):
+            grid_graph(0, 3)
+
+
+class TestOperations:
+    def test_star_expansion_colors(self):
+        starred = star_expansion(path(3))
+        assert is_star_expansion(starred)
+        assert len(starred.vocabulary) == 1 + 3
+        recovered = strip_star_expansion(starred)
+        assert recovered == path(3)
+
+    def test_star_expansion_is_core(self):
+        from repro.homomorphism import is_core
+
+        assert is_core(star_expansion(path(4)))
+
+    def test_double_star_expansion_rejected(self):
+        with pytest.raises(VocabularyError):
+            star_expansion(star_expansion(path(2)))
+
+    def test_direct_product_counts(self):
+        product = direct_product(path(2), path(3))
+        assert len(product) == 6
+        # Edges of the product: pairs of edges, one from each factor.
+        assert len(product.relation("E")) == len(path(2).relation("E")) * len(
+            path(3).relation("E")
+        )
+
+    def test_direct_product_requires_same_vocabulary(self):
+        with pytest.raises(VocabularyError):
+            direct_product(path(2), b_structure(1))
+
+    def test_disjoint_union(self):
+        union = disjoint_union([path(2), path(3)])
+        assert len(union) == 5
+        assert ((0, 1), (0, 2)) in union.relation("E")
+        with pytest.raises(StructureError):
+            disjoint_union([])
+
+    def test_symmetric_closure(self):
+        closed = symmetric_closure(directed_path(3))
+        assert (2, 1) in closed.relation("E")
+
+    def test_product_homomorphism_projections(self):
+        """Both projections of a direct product are homomorphisms."""
+        from repro.homomorphism import is_homomorphism
+
+        product = direct_product(cycle(3), cycle(3))
+        first = {pair: pair[0] for pair in product.universe}
+        second = {pair: pair[1] for pair in product.universe}
+        assert is_homomorphism(first, product, cycle(3))
+        assert is_homomorphism(second, product, cycle(3))

@@ -1,0 +1,148 @@
+"""Tests for the colour-coding reduction (Lemma 3.15) and the connectivizations
+used by Theorems 3.13 and 5.6."""
+
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.homomorphism import find_embedding, has_embedding, has_homomorphism
+from repro.reductions import (
+    AUX_RELATION,
+    ColorCodingReduction,
+    EmbInstance,
+    TreeDepthConnectivization,
+    TreewidthConnectivization,
+    connectivize_by_treedepth,
+    connectivize_by_treewidth,
+)
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    cycle,
+    gaifman_graph,
+    is_connected_structure,
+    path,
+    random_graph_structure,
+    star_expansion,
+)
+from repro.graphlib import is_connected
+
+
+DISCONNECTED = Structure(
+    GRAPH_VOCABULARY, [1, 2, 3, 4], {"E": [(1, 2), (2, 1), (3, 4), (4, 3)]}
+)
+
+
+class TestColorCoding:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agrees_with_bruteforce_small(self, seed):
+        instance = EmbInstance(path(3), random_graph_structure(5, 0.4, seed))
+        assert ColorCodingReduction().agrees_with_bruteforce(instance)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cycle_patterns(self, seed):
+        instance = EmbInstance(cycle(3), random_graph_structure(5, 0.5, seed))
+        assert ColorCodingReduction().agrees_with_bruteforce(instance)
+
+    def test_blocks_are_sound(self):
+        """Any homomorphism from A* into a block yields an embedding of A."""
+        pattern = path(3)
+        target = random_graph_structure(6, 0.5, 11)
+        reduction = ColorCodingReduction()
+        pattern_star = star_expansion(pattern)
+        checked = 0
+        for _, block in reduction.blocks(EmbInstance(pattern, target)):
+            mapping = None
+            from repro.homomorphism import find_homomorphism
+
+            mapping = find_homomorphism(pattern_star, block)
+            if mapping is not None:
+                restricted = {a: mapping[a] for a in pattern.universe}
+                assert len(set(restricted.values())) == len(pattern)
+            checked += 1
+            if checked >= 50:
+                break
+
+    def test_witness_block_accepts_known_embedding(self):
+        pattern = cycle(3)
+        target = cycle(3)
+        embedding = find_embedding(pattern, target)
+        assert embedding is not None
+        reduction = ColorCodingReduction()
+        block = reduction.witness_block(EmbInstance(pattern, target), embedding)
+        assert has_homomorphism(star_expansion(pattern), block)
+
+    def test_materialize_requires_connected_pattern(self):
+        with pytest.raises(ReductionError):
+            ColorCodingReduction(max_blocks=5).materialize(
+                EmbInstance(DISCONNECTED, random_graph_structure(4, 0.5, 0)), 5
+            )
+
+    def test_materialized_instance_parameter_bound(self):
+        reduction = ColorCodingReduction(max_blocks=3)
+        instance = EmbInstance(path(2), random_graph_structure(3, 0.5, 0))
+        reduced = reduction.apply(instance)
+        assert reduced.parameter() <= reduction.parameter_bound(instance.parameter())
+
+
+class TestConnectivization:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_treedepth_connectivization_preserves_embeddings(self, seed):
+        target = random_graph_structure(5, 0.6, seed)
+        instance = EmbInstance(DISCONNECTED, target)
+        connectivized = connectivize_by_treedepth(instance)
+        assert is_connected_structure(connectivized.pattern)
+        assert has_embedding(DISCONNECTED, target) == has_embedding(
+            connectivized.pattern, connectivized.target
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_treewidth_connectivization_preserves_embeddings(self, seed):
+        target = random_graph_structure(5, 0.6, seed)
+        instance = EmbInstance(DISCONNECTED, target)
+        connectivized = connectivize_by_treewidth(instance)
+        assert is_connected_structure(connectivized.pattern)
+        assert has_embedding(DISCONNECTED, target) == has_embedding(
+            connectivized.pattern, connectivized.target
+        )
+
+    def test_treedepth_grows_by_at_most_one(self):
+        from repro.decomposition import graph_treedepth
+
+        instance = EmbInstance(DISCONNECTED, random_graph_structure(5, 0.5, 0))
+        connectivized = connectivize_by_treedepth(instance)
+        before = graph_treedepth(gaifman_graph(DISCONNECTED))
+        after = graph_treedepth(gaifman_graph(connectivized.pattern))
+        assert after <= before + 1
+
+    def test_treewidth_grows_by_at_most_one(self):
+        from repro.decomposition import graph_treewidth
+
+        instance = EmbInstance(DISCONNECTED, random_graph_structure(5, 0.5, 1))
+        connectivized = connectivize_by_treewidth(instance)
+        before = graph_treewidth(gaifman_graph(DISCONNECTED))
+        after = graph_treewidth(gaifman_graph(connectivized.pattern))
+        assert after <= before + 1
+
+    def test_aux_relation_added_once(self):
+        instance = EmbInstance(DISCONNECTED, random_graph_structure(4, 0.5, 2))
+        connectivized = connectivize_by_treedepth(instance)
+        assert AUX_RELATION in connectivized.pattern.vocabulary
+        with pytest.raises(ReductionError):
+            connectivize_by_treedepth(
+                EmbInstance(connectivized.pattern, connectivized.target)
+            )
+
+    def test_reduction_objects_expose_parameter_bounds(self):
+        instance = EmbInstance(DISCONNECTED, random_graph_structure(4, 0.5, 3))
+        for reduction in (TreeDepthConnectivization(), TreewidthConnectivization()):
+            reduced = reduction.apply(instance)
+            assert reduced.parameter() <= reduction.parameter_bound(instance.parameter())
+
+    def test_already_connected_pattern_stays_equivalent(self):
+        pattern = cycle(5)
+        target = random_graph_structure(6, 0.5, 4)
+        instance = EmbInstance(pattern, target)
+        connectivized = connectivize_by_treewidth(instance)
+        assert has_embedding(pattern, target) == has_embedding(
+            connectivized.pattern, connectivized.target
+        )

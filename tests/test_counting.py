@@ -1,0 +1,102 @@
+"""Tests for the counting classification (Section 6)."""
+
+import pytest
+
+from repro.classification import ComplexityDegree
+from repro.counting import (
+    count_bijective_endomorphisms,
+    count_hom,
+    count_star_homomorphisms_via_oracle,
+    counting_degree_for_family,
+)
+from repro.homomorphism import count_homomorphisms, count_homomorphisms_td
+from repro.decomposition import optimal_tree_decomposition
+from repro.structures import (
+    clique,
+    cycle,
+    path,
+    random_graph_structure,
+    star,
+    star_expansion,
+)
+from repro.structures.random_gen import random_colored_target
+
+
+class TestCountingDispatch:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_para_l_route_matches_bruteforce(self, seed):
+        pattern = star(3)
+        target = random_graph_structure(5, 0.5, seed)
+        result = count_hom(pattern, target)
+        assert result.degree is ComplexityDegree.PARA_L
+        assert result.count == count_homomorphisms(pattern, target)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_counts_match_on_paths_and_cycles(self, seed):
+        for pattern in (path(4), cycle(4)):
+            target = random_graph_structure(5, 0.5, seed)
+            assert count_hom(pattern, target).count == count_homomorphisms(pattern, target)
+
+    def test_uses_widths_of_structure_not_core(self):
+        """Counting must not pass to the core: #hom(C6 → K3) ≠ #hom(K2 → K3)."""
+        result = count_hom(cycle(6), clique(3))
+        assert result.count == count_homomorphisms(cycle(6), clique(3))
+        assert result.count != count_homomorphisms(path(2), clique(3))
+
+    def test_counting_degree_for_family(self):
+        # Paths: tw/pw bounded, td unbounded -> PATH degree for counting.
+        degree = counting_degree_for_family(
+            [1] * 8, [1] * 8, [2, 2, 3, 3, 3, 3, 4, 4]
+        )
+        assert degree is ComplexityDegree.PATH_COMPLETE
+        # Binary trees: pw unbounded -> TREE degree.
+        degree = counting_degree_for_family([1] * 6, [1, 1, 2, 2, 3, 3], [2, 3, 4, 5, 6, 7])
+        assert degree is ComplexityDegree.TREE_COMPLETE
+
+
+class TestInclusionExclusion:
+    def test_automorphism_counts(self):
+        assert count_bijective_endomorphisms(cycle(3)) == 6
+        assert count_bijective_endomorphisms(path(2)) == 2
+        assert count_bijective_endomorphisms(star_expansion(path(3))) == 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_lemma_62_matches_direct_count_on_cycles(self, seed):
+        pattern_star = star_expansion(cycle(3))
+        target = random_colored_target(pattern_star, 5, 0.5, seed)
+        assert count_star_homomorphisms_via_oracle(pattern_star, target) == count_homomorphisms(
+            pattern_star, target
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_lemma_62_matches_direct_count_on_paths(self, seed):
+        pattern_star = star_expansion(path(3))
+        target = random_colored_target(pattern_star, 4, 0.6, seed)
+        assert count_star_homomorphisms_via_oracle(pattern_star, target) == count_homomorphisms(
+            pattern_star, target
+        )
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_lemma_62_with_dp_oracle(self, seed):
+        """The oracle may be any #HOM(A) solver, e.g. the decomposition DP."""
+        pattern_star = star_expansion(path(3))
+        target = random_colored_target(pattern_star, 4, 0.5, seed + 10)
+
+        def dp_oracle(pattern, block):
+            return count_homomorphisms_td(pattern, block, optimal_tree_decomposition(pattern))
+
+        assert count_star_homomorphisms_via_oracle(
+            pattern_star, target, oracle=dp_oracle
+        ) == count_homomorphisms(pattern_star, target)
+
+    def test_zero_count_instance(self):
+        pattern_star = star_expansion(cycle(3))
+        # A target whose colour classes are all a single element with no edges.
+        from repro.structures import Structure
+
+        target = Structure(
+            pattern_star.vocabulary,
+            ["a"],
+            {name: {("a",)} for name in pattern_star.vocabulary.names() if name != "E"},
+        )
+        assert count_star_homomorphisms_via_oracle(pattern_star, target) == 0

@@ -1,0 +1,152 @@
+"""Tests for conjunctive queries, the parser, databases and EVAL(Φ)."""
+
+import pytest
+
+from repro.classification import ComplexityDegree
+from repro.cq import (
+    ConjunctiveQuery,
+    Database,
+    QueryAtom,
+    classify_query_set,
+    evaluate_query_set,
+    parse_query,
+)
+from repro.exceptions import FormulaError, StructureError, VocabularyError
+from repro.homomorphism import count_homomorphisms, has_homomorphism
+from repro.structures import Vocabulary, are_isomorphic, cycle, path
+
+
+class TestDatabase:
+    def test_tables_and_domain(self):
+        database = Database({"E": [(1, 2), (2, 3)], "Label": [("a",)]})
+        assert database.arity("E") == 2
+        assert database.arity("Label") == 1
+        assert database.number_of_rows() == 3
+        assert {1, 2, 3, "a"} <= set(database.domain)
+
+    def test_inconsistent_rows_rejected(self):
+        with pytest.raises(StructureError):
+            Database({"E": [(1, 2), (1,)]})
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(StructureError):
+            Database({})
+
+    def test_structure_roundtrip(self):
+        database = Database({"E": [(1, 2), (2, 1)]})
+        structure = database.to_structure()
+        assert Database.from_structure(structure).table("E") == sorted(
+            structure.relation("E"), key=repr
+        )
+
+    def test_to_structure_with_explicit_vocabulary(self):
+        database = Database({"E": [(1, 2)]})
+        query = parse_query("E(x, y), F(y)")
+        structure = database.to_structure(query.vocabulary())
+        assert structure.relation("F") == frozenset()
+        assert structure.relation("E") == frozenset({(1, 2)})
+        # Tables absent from the supplied schema are dropped, not rejected.
+        restricted = database.to_structure(query.vocabulary().restrict(["F"]))
+        assert restricted.relation("F") == frozenset()
+        # Arity clashes are still an error.
+        with pytest.raises(VocabularyError):
+            database.to_structure(Vocabulary({"E": 3}))
+
+    def test_unknown_table(self):
+        with pytest.raises(VocabularyError):
+            Database({"E": [(1, 2)]}).table("F")
+
+
+class TestConjunctiveQuery:
+    def test_triangle_query(self):
+        query = ConjunctiveQuery([("E", ("x", "y")), ("E", ("y", "z")), ("E", ("z", "x"))])
+        assert len(query.variables) == 3
+        # The atoms are directed, so the canonical structure is the directed triangle.
+        from repro.structures import directed_cycle
+
+        assert are_isomorphic(query.canonical_structure(), directed_cycle(3))
+
+    def test_query_from_structure_roundtrip(self):
+        query = ConjunctiveQuery.from_structure(path(4))
+        assert are_isomorphic(query.canonical_structure(), path(4))
+
+    def test_holds_on_database(self):
+        query = parse_query("E(x, y), E(y, z), E(z, x)")
+        triangle_db = Database({"E": [(1, 2), (2, 3), (3, 1)]})
+        square_db = Database({"E": [(1, 2), (2, 3), (3, 4), (4, 1)]})
+        assert query.holds_on(triangle_db)
+        assert not query.holds_on(square_db)
+
+    def test_count_matches(self):
+        query = parse_query("E(x, y)")
+        database = Database({"E": [(1, 2), (2, 3), (3, 1)]})
+        assert query.count_matches(database) == 3
+
+    def test_holds_on_structure_directly(self):
+        query = parse_query("E(x, y), E(y, z)")
+        assert query.holds_on(cycle(4)) == has_homomorphism(
+            query.canonical_structure(), cycle(4)
+        )
+
+    def test_to_sentence_quantifier_rank(self):
+        query = parse_query("E(x, y), E(y, z)")
+        assert query.to_sentence().quantifier_rank() == 3
+
+    def test_classify(self):
+        profile = parse_query("E(x, y), E(y, z), E(z, x)").classify()
+        assert profile.core_treewidth == 2
+
+    def test_inconsistent_arity_rejected(self):
+        query = ConjunctiveQuery([("R", ("x", "y")), ("R", ("x",))])
+        with pytest.raises(FormulaError):
+            query.vocabulary()
+
+    def test_needs_a_variable(self):
+        with pytest.raises(FormulaError):
+            ConjunctiveQuery([])
+
+
+class TestParser:
+    def test_basic_forms(self):
+        assert len(parse_query("E(x,y), E(y,z)").atoms) == 2
+        assert len(parse_query("exists x y z . E(x,y) & E(y,z)").variables) == 3
+        assert len(parse_query("∃x,y : R(x, y, y)").atoms) == 1
+
+    def test_prefix_introduces_isolated_variables(self):
+        query = parse_query("exists x y w . E(x, y)")
+        assert "w" in query.variables
+        assert len(query.canonical_structure()) == 3
+
+    def test_garbage_rejected(self):
+        with pytest.raises(FormulaError):
+            parse_query("E(x,y) or E(y,z)")
+        with pytest.raises(FormulaError):
+            parse_query("")
+        with pytest.raises(FormulaError):
+            parse_query("E()")
+
+    def test_parse_matches_manual_construction(self):
+        parsed = parse_query("E(a, b), E(b, c)")
+        manual = ConjunctiveQuery([QueryAtom("E", ("a", "b")), QueryAtom("E", ("b", "c"))])
+        assert are_isomorphic(parsed.canonical_structure(), manual.canonical_structure())
+
+
+class TestQuerySetEvaluation:
+    def test_evaluate_query_set(self):
+        queries = [
+            parse_query("E(x, y)"),
+            parse_query("E(x, y), E(y, z), E(z, x)"),
+        ]
+        database = Database({"E": [(1, 2), (2, 3), (3, 1)]})
+        results = evaluate_query_set(queries, database)
+        assert [result.answer for _, result in results] == [True, True]
+        square = Database({"E": [(1, 2), (2, 3), (3, 4), (4, 1)]})
+        results = evaluate_query_set(queries, square)
+        assert [result.answer for _, result in results] == [True, False]
+
+    def test_classify_query_set(self):
+        # Path-shaped queries of growing length: the degree is PATH-complete
+        # only for the starred variants; plain path queries have edge cores.
+        queries = [ConjunctiveQuery.from_structure(path(k)) for k in range(2, 7)]
+        report = classify_query_set(queries)
+        assert report.degree is ComplexityDegree.PARA_L

@@ -1,0 +1,164 @@
+"""Tests for the graph substrate (repro.graphlib)."""
+
+import pytest
+
+from repro.exceptions import StructureError
+from repro.graphlib import (
+    DiGraph,
+    Graph,
+    bfs_order,
+    connected_components,
+    dfs_order,
+    is_acyclic,
+    is_connected,
+    is_cycle_graph,
+    is_path_graph,
+    is_tree,
+    shortest_path,
+    shortest_path_lengths,
+)
+from repro.structures import cycle_graph, grid_graph, path_graph, star_graph
+
+
+class TestGraphBasics:
+    def test_vertices_and_edges(self):
+        graph = Graph([1, 2, 3], [(1, 2), (2, 3)])
+        assert graph.number_of_vertices() == 3
+        assert graph.number_of_edges() == 2
+        assert graph.has_edge(1, 2) and graph.has_edge(2, 1)
+        assert not graph.has_edge(1, 3)
+
+    def test_duplicate_edges_collapse(self):
+        graph = Graph([1, 2], [(1, 2), (2, 1), (1, 2)])
+        assert graph.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(StructureError):
+            Graph([1], [(1, 1)])
+
+    def test_edge_with_unknown_vertex_rejected(self):
+        with pytest.raises(StructureError):
+            Graph([1, 2], [(1, 3)])
+
+    def test_neighbors_and_degree(self):
+        graph = star_graph(4)
+        assert graph.degree(0) == 4
+        assert graph.neighbors(0) == frozenset({1, 2, 3, 4})
+        assert graph.max_degree() == 4
+
+    def test_is_regular(self):
+        assert cycle_graph(5).is_regular()
+        assert not star_graph(3).is_regular()
+
+    def test_subgraph(self):
+        graph = cycle_graph(5)
+        sub = graph.subgraph({1, 2, 3})
+        assert sub.number_of_edges() == 2
+        with pytest.raises(StructureError):
+            graph.subgraph({1, 99})
+
+    def test_remove_vertex(self):
+        graph = cycle_graph(4)
+        smaller = graph.remove_vertex(1)
+        assert 1 not in smaller
+        assert smaller.number_of_edges() == 2
+
+    def test_contract_edge(self):
+        graph = path_graph(3)
+        contracted = graph.contract_edge(1, 2)
+        assert len(contracted) == 2
+        assert contracted.has_edge(1, 3)
+        with pytest.raises(StructureError):
+            path_graph(3).contract_edge(1, 3)
+
+    def test_relabel_and_equality(self):
+        graph = path_graph(3)
+        renamed = graph.relabel({1: "a", 2: "b", 3: "c"})
+        assert renamed.has_edge("a", "b")
+        assert graph == Graph([1, 2, 3], [(2, 3), (1, 2)])
+        assert hash(graph) == hash(Graph([1, 2, 3], [(1, 2), (2, 3)]))
+
+    def test_relabel_requires_injective(self):
+        with pytest.raises(StructureError):
+            path_graph(3).relabel({1: "a", 2: "a"})
+
+    def test_union(self):
+        left = Graph([1, 2], [(1, 2)])
+        right = Graph([2, 3], [(2, 3)])
+        union = left.union(right)
+        assert union.number_of_edges() == 2
+        assert len(union) == 3
+
+
+class TestDiGraph:
+    def test_arcs_and_successors(self):
+        digraph = DiGraph([1, 2, 3], [(1, 2), (2, 3)])
+        assert digraph.successors(1) == frozenset({2})
+        assert digraph.predecessors(3) == frozenset({2})
+        assert digraph.has_arc(1, 2) and not digraph.has_arc(2, 1)
+
+    def test_loops_allowed_and_detected(self):
+        digraph = DiGraph([1], [(1, 1)])
+        assert digraph.has_loops()
+
+    def test_underlying_graph_drops_loops(self):
+        digraph = DiGraph([1, 2], [(1, 2), (1, 1)])
+        graph = digraph.underlying_graph()
+        assert graph.has_edge(1, 2)
+        assert graph.number_of_edges() == 1
+
+    def test_reverse(self):
+        digraph = DiGraph([1, 2], [(1, 2)])
+        assert digraph.reverse().has_arc(2, 1)
+
+
+class TestTraversal:
+    def test_bfs_covers_component(self):
+        graph = cycle_graph(6)
+        assert set(bfs_order(graph, 1)) == set(graph.vertices)
+
+    def test_dfs_covers_component(self):
+        graph = grid_graph(2, 3)
+        assert set(dfs_order(graph, (0, 0))) == set(graph.vertices)
+
+    def test_shortest_path_lengths(self):
+        graph = path_graph(5)
+        distances = shortest_path_lengths(graph, 1)
+        assert distances[5] == 4 and distances[1] == 0
+
+    def test_shortest_path_endpoints(self):
+        graph = cycle_graph(6)
+        route = shortest_path(graph, 1, 4)
+        assert route is not None
+        assert route[0] == 1 and route[-1] == 4 and len(route) == 4
+
+    def test_shortest_path_unreachable(self):
+        graph = Graph([1, 2, 3], [(1, 2)])
+        assert shortest_path(graph, 1, 3) is None
+
+
+class TestPredicates:
+    def test_connected_components(self):
+        graph = Graph([1, 2, 3, 4], [(1, 2), (3, 4)])
+        components = connected_components(graph)
+        assert len(components) == 2
+        assert frozenset({1, 2}) in components and frozenset({3, 4}) in components
+
+    def test_is_connected(self):
+        assert is_connected(cycle_graph(4))
+        assert not is_connected(Graph([1, 2, 3], [(1, 2)]))
+
+    def test_is_tree_path_cycle(self):
+        assert is_tree(path_graph(4)) and is_path_graph(path_graph(4))
+        assert is_tree(star_graph(5)) and not is_path_graph(star_graph(5))
+        assert is_cycle_graph(cycle_graph(5)) and not is_tree(cycle_graph(5))
+        assert not is_cycle_graph(path_graph(4))
+
+    def test_is_acyclic(self):
+        assert is_acyclic(Graph([1, 2, 3, 4], [(1, 2), (3, 4)]))
+        assert not is_acyclic(cycle_graph(3))
+
+    def test_single_vertex_is_path_and_tree(self):
+        single = Graph([1])
+        assert is_tree(single) and is_path_graph(single)
+        assert not is_tree(Graph())

@@ -1,0 +1,123 @@
+"""End-to-end integration tests: the paper's pipeline exercised as a user would."""
+
+import pytest
+
+from repro.classification import ComplexityDegree, classify_family, solve_hom
+from repro.counting import count_hom, count_star_homomorphisms_via_oracle
+from repro.cq import Database, parse_query
+from repro.homomorphism import count_homomorphisms, has_homomorphism
+from repro.machines import alternating_both_bits_machine, contains_one_machine
+from repro.reductions import (
+    HomInstance,
+    ReductionLemmaChain,
+    machine_acceptance_to_hom_path,
+    machine_acceptance_to_hom_tree,
+    reduce_with_decomposition,
+)
+from repro.decomposition import optimal_tree_decomposition
+from repro.structures import (
+    cycle,
+    path,
+    path_graph,
+    random_graph_structure,
+    star_expansion,
+)
+from repro.workloads import family_by_name
+from tests.conftest import colored_target_for
+
+
+class TestDatabaseScenario:
+    """A miniature "social network" database queried with CQs of all three degrees."""
+
+    @pytest.fixture
+    def friends(self):
+        edges = [
+            (1, 2), (2, 1), (2, 3), (3, 2), (3, 4), (4, 3),
+            (4, 5), (5, 4), (5, 1), (1, 5), (2, 5), (5, 2),
+        ]
+        return Database({"E": edges})
+
+    def test_star_query(self, friends):
+        query = parse_query("E(c, x), E(c, y), E(c, z)")
+        assert query.holds_on(friends)
+        assert query.classify().core_treedepth <= 2
+
+    def test_path_and_triangle_queries(self, friends):
+        path_query = parse_query("E(a, b), E(b, c), E(c, d)")
+        triangle_query = parse_query("E(x, y), E(y, z), E(z, x)")
+        assert path_query.holds_on(friends)
+        assert triangle_query.holds_on(friends)
+
+    def test_degree_aware_solving_agrees_with_query_semantics(self, friends):
+        query = parse_query("E(a, b), E(b, c), E(c, d), E(d, e)")
+        target = friends.to_structure(query.vocabulary())
+        result = solve_hom(query.canonical_structure(), target)
+        assert result.answer == query.holds_on(friends)
+
+
+class TestClassificationPipeline:
+    def test_three_degrees_surface_on_canonical_families(self):
+        degrees = {
+            "stars": ComplexityDegree.PARA_L,
+            "starred_paths": ComplexityDegree.PATH_COMPLETE,
+            "starred_binary_trees": ComplexityDegree.TREE_COMPLETE,
+        }
+        for name, expected in degrees.items():
+            count = 7 if name == "starred_paths" else 4
+            assert classify_family(family_by_name(name, count)).degree == expected
+
+    def test_classification_drives_the_right_solver(self):
+        pattern = star_expansion(path(5))
+        target = colored_target_for(pattern, 5, 0.6, 3)
+        result = solve_hom(pattern, target)
+        assert result.answer == has_homomorphism(pattern, target)
+        assert "Lemma 3.3" in result.solver or "Theorem 4.6" in result.solver
+
+
+class TestHardnessPipeline:
+    def test_machine_worlds_and_homomorphism_worlds_agree(self):
+        jump_machine = contains_one_machine(2)
+        alternating_machine = alternating_both_bits_machine(2)
+        for text in ("0101", "0001", "1111", "0000"):
+            path_instance = machine_acceptance_to_hom_path(jump_machine, text)
+            tree_instance = machine_acceptance_to_hom_tree(alternating_machine, text)
+            assert jump_machine.accepts(text) == has_homomorphism(
+                path_instance.pattern, path_instance.target
+            )
+            assert alternating_machine.accepts(text) == has_homomorphism(
+                tree_instance.pattern, tree_instance.target
+            )
+
+    def test_hardness_transfer_through_the_reduction_lemma(self):
+        """p-HOM(P_3*) reduces into p-HOM({C_5}) because P_3 is a minor of C_5."""
+        chain = ReductionLemmaChain(cycle(5), path_graph(3))
+        pattern_star = star_expansion(path(3))
+        for seed in range(3):
+            target = colored_target_for(pattern_star, 4, 0.5, seed)
+            instance = HomInstance(pattern_star, target)
+            transferred = chain.apply(instance)
+            assert has_homomorphism(instance.pattern, instance.target) == has_homomorphism(
+                transferred.pattern, transferred.target
+            )
+
+
+class TestMembershipPipeline:
+    def test_lemma_34_then_dp_solves_bounded_treewidth_queries(self):
+        pattern = cycle(4)
+        target = random_graph_structure(6, 0.5, 5)
+        instance = HomInstance(pattern, target)
+        reduced = reduce_with_decomposition(instance, optimal_tree_decomposition(pattern))
+        assert has_homomorphism(reduced.pattern, reduced.target) == has_homomorphism(
+            pattern, target
+        )
+
+    def test_counting_pipeline(self):
+        pattern = path(3)
+        target = random_graph_structure(5, 0.5, 7)
+        direct = count_homomorphisms(pattern, target)
+        assert count_hom(pattern, target).count == direct
+        starred = star_expansion(pattern)
+        colored = colored_target_for(starred, 5, 0.5, 7)
+        assert count_star_homomorphisms_via_oracle(starred, colored) == count_homomorphisms(
+            starred, colored
+        )

@@ -1,0 +1,131 @@
+"""Tests for isomorphism checking, encodings, Gaifman graphs and random generators."""
+
+import pytest
+
+from repro.exceptions import StructureError
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    Vocabulary,
+    are_isomorphic,
+    cycle,
+    decode_structure,
+    encode_bits,
+    encode_structure,
+    encoded_length,
+    find_isomorphism,
+    gaifman_graph,
+    graph_structure,
+    is_connected_structure,
+    path,
+    planted_homomorphism_target,
+    random_graph,
+    random_graph_structure,
+    random_structure,
+    random_tree_graph,
+    star_expansion,
+)
+from repro.graphlib import is_tree
+from repro.homomorphism import is_homomorphism
+
+
+class TestIsomorphism:
+    def test_relabelled_structures_are_isomorphic(self):
+        renamed = path(4).relabel({1: "a", 2: "b", 3: "c", 4: "d"})
+        mapping = find_isomorphism(path(4), renamed)
+        assert mapping is not None
+        assert is_homomorphism(mapping, path(4), renamed)
+
+    def test_path_not_isomorphic_to_cycle(self):
+        assert not are_isomorphic(path(4), cycle(4))
+
+    def test_different_sizes(self):
+        assert not are_isomorphic(path(3), path(4))
+
+    def test_star_expansions_distinguish_elements(self):
+        # Starred paths are rigid, so the only isomorphism is the identity.
+        starred = star_expansion(path(3))
+        mapping = find_isomorphism(starred, starred)
+        assert mapping == {a: a for a in starred.universe}
+
+    def test_cycles_isomorphic_to_rotations(self):
+        rotated = cycle(5).relabel({1: 2, 2: 3, 3: 4, 4: 5, 5: 1})
+        assert are_isomorphic(cycle(5), rotated)
+
+    def test_different_vocabularies(self):
+        other = Structure(Vocabulary({"R": 2}), [1, 2], {"R": [(1, 2)]})
+        assert not are_isomorphic(path(2), other)
+
+
+class TestEncoding:
+    def test_roundtrip_is_isomorphic(self):
+        for structure in [path(4), cycle(5), star_expansion(path(3))]:
+            decoded = decode_structure(encode_structure(structure))
+            assert are_isomorphic(structure, decoded)
+
+    def test_equal_structures_equal_encodings(self):
+        assert encode_structure(path(4)) == encode_structure(path(4))
+
+    def test_encoded_length_positive_and_bits(self):
+        assert encoded_length(path(3)) == len(encode_bits(path(3)))
+        assert set(encode_bits(path(2))) <= {"0", "1"}
+
+    def test_malformed_encoding_rejected(self):
+        with pytest.raises(StructureError):
+            decode_structure("{not json")
+
+
+class TestGaifman:
+    def test_gaifman_of_graph_structure_is_graph(self):
+        from repro.structures import cycle_graph
+
+        assert gaifman_graph(cycle(5)) == cycle_graph(5)
+
+    def test_gaifman_of_ternary_tuple_is_clique(self):
+        structure = Structure(Vocabulary({"R": 3}), [1, 2, 3], {"R": [(1, 2, 3)]})
+        graph = gaifman_graph(structure)
+        assert graph.number_of_edges() == 3
+
+    def test_repeated_elements_no_self_loop(self):
+        structure = Structure(Vocabulary({"R": 2}), [1, 2], {"R": [(1, 1), (1, 2)]})
+        graph = gaifman_graph(structure)
+        assert graph.number_of_edges() == 1
+
+    def test_connectivity_predicate(self):
+        assert is_connected_structure(cycle(4))
+        disconnected = Structure(GRAPH_VOCABULARY, [1, 2, 3], {"E": [(1, 2), (2, 1)]})
+        assert not is_connected_structure(disconnected)
+
+
+class TestRandomGenerators:
+    def test_random_graph_determinism(self):
+        assert random_graph(8, 0.5, 7) == random_graph(8, 0.5, 7)
+        assert random_graph_structure(6, 0.4, 1) == random_graph_structure(6, 0.4, 1)
+
+    def test_random_graph_extremes(self):
+        assert random_graph(5, 0.0, 1).number_of_edges() == 0
+        assert random_graph(5, 1.0, 1).number_of_edges() == 10
+
+    def test_random_tree_is_tree(self):
+        assert is_tree(random_tree_graph(10, 3))
+
+    def test_random_structure_respects_vocabulary(self):
+        vocabulary = Vocabulary({"R": 3, "C": 1})
+        structure = random_structure(vocabulary, 5, 4, 9)
+        assert all(len(t) == 3 for t in structure.relation("R"))
+        assert all(len(t) == 1 for t in structure.relation("C"))
+
+    def test_planted_target_always_yes(self):
+        from repro.homomorphism import has_homomorphism
+
+        pattern = cycle(5)
+        target = planted_homomorphism_target(pattern, 9, noise_edges=4, seed=2)
+        assert has_homomorphism(pattern, target)
+
+    def test_planted_target_size_check(self):
+        with pytest.raises(StructureError):
+            planted_homomorphism_target(cycle(5), 3, 0)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(StructureError):
+            random_graph(5, 1.5)

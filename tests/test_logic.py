@@ -1,0 +1,187 @@
+"""Tests for the first-order logic substrate: formulas, model checking,
+Chandra–Merlin translations and tree-depth sentences."""
+
+import pytest
+
+from repro.exceptions import FormulaError
+from repro.homomorphism import core, has_homomorphism
+from repro.logic import (
+    And,
+    Atom,
+    Equality,
+    Exists,
+    ForAll,
+    Formula,
+    ModelChecker,
+    Not,
+    Or,
+    TRUE,
+    big_and,
+    canonical_conjunction,
+    canonical_query,
+    canonical_structure,
+    exists_many,
+    model_check,
+    model_check_with_statistics,
+    prenex_atoms,
+    query_holds,
+    sentence_corresponds,
+    sentence_from_forest,
+    sentence_variable_forest,
+    treedepth_bound_from_sentence,
+    treedepth_sentence,
+    variable_for,
+)
+from repro.decomposition import exact_elimination_forest, exact_treedepth
+from repro.structures import (
+    GRAPH_VOCABULARY,
+    Structure,
+    Vocabulary,
+    clique,
+    cycle,
+    gaifman_graph,
+    path,
+    random_graph_structure,
+    star,
+)
+
+
+class TestFormulas:
+    def test_quantifier_rank(self):
+        formula = Exists("x", ForAll("y", Atom("E", ("x", "y"))))
+        assert formula.quantifier_rank() == 2
+        assert And((formula, Atom("E", ("z", "z")))).quantifier_rank() == 2
+
+    def test_free_variables(self):
+        formula = Exists("x", Atom("E", ("x", "y")))
+        assert formula.free_variables() == frozenset({"y"})
+        assert not formula.is_sentence()
+        assert Exists("y", formula).is_sentence()
+
+    def test_existential_conjunctive_fragment(self):
+        good = Exists("x", And((Atom("E", ("x", "x")),)))
+        assert good.is_existential_conjunctive()
+        bad = Exists("x", Not(Atom("E", ("x", "x"))))
+        assert not bad.is_existential_conjunctive()
+        with_equality = Exists("x", Equality("x", "x"))
+        assert not with_equality.is_existential_conjunctive()
+
+    def test_helpers(self):
+        formula = exists_many(["x", "y"], big_and([Atom("E", ("x", "y"))]))
+        assert formula.quantifier_rank() == 2
+        assert formula.size() >= 3
+        assert TRUE.is_sentence()
+
+    def test_atom_requires_relation(self):
+        with pytest.raises(FormulaError):
+            Atom("", ("x",))
+
+
+class TestModelChecking:
+    def test_edge_sentence(self):
+        sentence = exists_many(["x", "y"], Atom("E", ("x", "y")))
+        assert model_check(cycle(3), sentence)
+        edgeless = Structure(GRAPH_VOCABULARY, [1, 2], {})
+        assert not model_check(edgeless, sentence)
+
+    def test_universal_sentence(self):
+        # "every vertex has a neighbour" holds in cycles.
+        sentence = ForAll("x", Exists("y", Atom("E", ("x", "y"))))
+        assert model_check(cycle(4), sentence)
+        lonely = Structure(GRAPH_VOCABULARY, [1, 2, 3], {"E": [(1, 2), (2, 1)]})
+        assert not model_check(lonely, sentence)
+
+    def test_negation_and_equality(self):
+        # "there are two distinct adjacent vertices".
+        sentence = exists_many(
+            ["x", "y"], And((Atom("E", ("x", "y")), Not(Equality("x", "y"))))
+        )
+        assert model_check(path(2), sentence)
+
+    def test_free_variable_requires_assignment(self):
+        checker = ModelChecker(cycle(3))
+        with pytest.raises(FormulaError):
+            checker.check_sentence(Atom("E", ("x", "y")))
+        assert checker.check(Atom("E", ("x", "y")), {"x": 1, "y": 2})
+
+    def test_statistics_respect_lemma_311_bounds(self):
+        sentence = canonical_query(path(4))
+        result, statistics = model_check_with_statistics(cycle(6), sentence)
+        assert result is True
+        assert statistics.max_live_bindings <= sentence.quantifier_rank()
+        assert statistics.max_recursion_depth <= sentence.size()
+        assert statistics.estimated_space_bits > 0
+
+
+class TestChandraMerlin:
+    def test_canonical_query_equals_homomorphism(self):
+        for pattern in [path(3), cycle(3), star(3)]:
+            for seed in range(3):
+                target = random_graph_structure(5, 0.5, seed)
+                assert query_holds(pattern, target) == has_homomorphism(pattern, target)
+
+    def test_canonical_structure_roundtrip(self):
+        sentence = canonical_query(cycle(3))
+        rebuilt = canonical_structure(sentence, GRAPH_VOCABULARY)
+        # The rebuilt structure is isomorphic to the original (variables renamed).
+        from repro.structures import are_isomorphic
+
+        assert are_isomorphic(rebuilt, cycle(3))
+
+    def test_canonical_structure_rejects_non_cq(self):
+        with pytest.raises(FormulaError):
+            canonical_structure(Not(Atom("E", ("x", "x"))), GRAPH_VOCABULARY)
+        with pytest.raises(FormulaError):
+            canonical_structure(Atom("E", ("x", "y")), GRAPH_VOCABULARY)
+
+    def test_prenex_atoms(self):
+        variables, atoms = prenex_atoms(canonical_query(path(3)))
+        assert len(variables) == 3
+        assert len(atoms) == len(path(3).relation("E"))
+
+    def test_canonical_conjunction_variables(self):
+        conjunction = canonical_conjunction(path(2))
+        assert variable_for(1) in conjunction.free_variables()
+
+
+class TestTreeDepthSentences:
+    @pytest.mark.parametrize("pattern", [path(4), path(6), star(3), cycle(5)])
+    def test_sentence_corresponds_to_structure(self, pattern):
+        sentence = treedepth_sentence(pattern)
+        targets = [random_graph_structure(5, p, seed) for seed, p in enumerate([0.3, 0.5, 0.7])]
+        targets.append(cycle(6))
+        targets.append(clique(3))
+        assert sentence_corresponds(pattern, sentence, targets)
+
+    def test_quantifier_rank_bounded_by_treedepth(self):
+        for pattern in [path(5), star(4), cycle(5)]:
+            sentence = treedepth_sentence(pattern)
+            bound = exact_treedepth(gaifman_graph(core(pattern))) + 1
+            assert sentence.quantifier_rank() <= bound
+
+    def test_sentence_is_existential_conjunctive(self):
+        assert treedepth_sentence(path(5)).is_existential_conjunctive()
+
+    def test_sentence_from_explicit_forest(self):
+        pattern = cycle(5)
+        forest = exact_elimination_forest(gaifman_graph(pattern))
+        sentence = sentence_from_forest(pattern, forest)
+        assert sentence.quantifier_rank() == forest.height()
+
+    def test_forest_mismatch_rejected(self):
+        forest = exact_elimination_forest(gaifman_graph(path(4)))
+        with pytest.raises(FormulaError):
+            sentence_from_forest(cycle(5), forest)
+
+    def test_theorem_312_backward_direction(self):
+        """The quantifier-nesting depth of φ_A bounds td(core(A)) (Theorem 3.12)."""
+        for pattern in [path(6), cycle(5), star(4)]:
+            sentence = treedepth_sentence(pattern)
+            chain = treedepth_bound_from_sentence(sentence)
+            td = exact_treedepth(gaifman_graph(core(pattern)))
+            assert td <= chain <= sentence.quantifier_rank()
+
+    def test_variable_forest_shape(self):
+        sentence = treedepth_sentence(path(4))
+        forest = sentence_variable_forest(sentence)
+        assert "" in forest and forest[""], "sentence should quantify at least one root variable"

@@ -1,0 +1,87 @@
+"""Tests for the machine-to-homomorphism reductions (Theorems 4.3 and 5.5)."""
+
+import pytest
+
+from repro.graphlib import is_path_graph, is_tree
+from repro.homomorphism import has_homomorphism
+from repro.machines import (
+    alternating_both_bits_machine,
+    at_least_k_ones_machine,
+    contains_one_machine,
+    substring_machine,
+)
+from repro.reductions import (
+    machine_acceptance_to_hom_path,
+    machine_acceptance_to_hom_tree,
+)
+from repro.structures import strip_star_expansion, structure_graph
+
+
+class TestTheorem43MachineToPath:
+    @pytest.mark.parametrize(
+        "text", ["0100", "000", "1", "0", "11010", "", "0110"]
+    )
+    def test_contains_one_agrees(self, text):
+        machine = contains_one_machine(2)
+        instance = machine_acceptance_to_hom_path(machine, text)
+        assert machine.accepts(text) == has_homomorphism(instance.pattern, instance.target)
+
+    @pytest.mark.parametrize("text", ["0101", "0010", "1100", "0000", "111"])
+    def test_three_jump_machine_agrees(self, text):
+        machine = contains_one_machine(3)
+        instance = machine_acceptance_to_hom_path(machine, text)
+        assert machine.accepts(text) == has_homomorphism(instance.pattern, instance.target)
+
+    def test_injective_machines_rejected(self):
+        from repro.exceptions import MachineError
+
+        with pytest.raises(MachineError):
+            machine_acceptance_to_hom_path(at_least_k_ones_machine(2), "0101")
+
+    @pytest.mark.parametrize("text", ["00101", "0110", "101", "1001"])
+    def test_substring_machine_agrees(self, text):
+        machine = substring_machine("101")
+        instance = machine_acceptance_to_hom_path(machine, text)
+        assert machine.accepts(text) == has_homomorphism(instance.pattern, instance.target)
+
+    def test_pattern_is_starred_path_with_machine_parameter(self):
+        machine = contains_one_machine(3)
+        instance = machine_acceptance_to_hom_path(machine, "010")
+        stripped = strip_star_expansion(instance.pattern)
+        assert is_path_graph(structure_graph(stripped))
+        assert len(stripped) == machine.max_jumps + 1
+
+    def test_parameter_independent_of_input_length(self):
+        machine = contains_one_machine(2)
+        small = machine_acceptance_to_hom_path(machine, "01")
+        large = machine_acceptance_to_hom_path(machine, "01" * 8)
+        assert small.pattern == large.pattern
+        assert len(large.target) >= len(small.target)
+
+
+class TestTheorem55MachineToTree:
+    @pytest.mark.parametrize("text", ["01", "11", "00", "101", "0000", "10"])
+    def test_both_bits_agrees(self, text):
+        machine = alternating_both_bits_machine(2)
+        instance = machine_acceptance_to_hom_tree(machine, text)
+        assert machine.accepts(text) == has_homomorphism(instance.pattern, instance.target)
+
+    @pytest.mark.parametrize("text", ["01", "000"])
+    def test_three_round_machine(self, text):
+        machine = alternating_both_bits_machine(3)
+        instance = machine_acceptance_to_hom_tree(machine, text)
+        assert machine.accepts(text) == has_homomorphism(instance.pattern, instance.target)
+
+    def test_pattern_is_starred_binary_tree(self):
+        machine = alternating_both_bits_machine(2)
+        instance = machine_acceptance_to_hom_tree(machine, "01")
+        stripped = strip_star_expansion(instance.pattern)
+        assert is_tree(structure_graph(stripped))
+        assert len(stripped) == 2 ** (machine.max_jumps + 1) - 1
+
+    def test_tree_target_grows_with_input(self):
+        machine = alternating_both_bits_machine(2)
+        small = machine_acceptance_to_hom_tree(machine, "01")
+        large = machine_acceptance_to_hom_tree(machine, "0101")
+        assert small.pattern == large.pattern
+        assert len(large.target) >= len(small.target)

@@ -1,0 +1,197 @@
+"""Tests for the machine substrate: Turing machines, jump machines,
+alternating machines, configuration graphs and the hash family."""
+
+import pytest
+
+from repro.exceptions import MachineError, ResourceExceededError
+from repro.machines import (
+    BLANK,
+    Configuration,
+    JumpMachine,
+    TuringMachine,
+    alternating_both_bits_machine,
+    at_least_k_ones_machine,
+    build_alternating_configuration_graph,
+    build_jump_configuration_graph,
+    contains_one_machine,
+    family_parameters,
+    find_injective_pair,
+    hash_value,
+    injective_fraction,
+    is_prime,
+    prime_bound,
+    primes_below,
+    substring_machine,
+)
+
+
+def _counter_machine() -> TuringMachine:
+    """A tiny deterministic machine that writes two symbols then accepts."""
+    transitions = {}
+    for symbol in ("0", "1", "<", ">"):
+        transitions[("start", symbol, BLANK)] = ("second", "x", 0, 1)
+        transitions[("second", symbol, BLANK)] = ("accept", "y", 0, 0)
+    return TuringMachine(
+        states={"start", "second", "accept", "reject"},
+        transitions=transitions,
+        start_state="start",
+        accept_state="accept",
+        reject_state="reject",
+    )
+
+
+class TestTuringMachine:
+    def test_deterministic_run_and_space(self):
+        machine = _counter_machine()
+        result = machine.run("01")
+        assert result.status == "accept"
+        assert result.max_space == 2
+        assert result.steps == 2
+
+    def test_space_budget_enforced(self):
+        machine = _counter_machine()
+        with pytest.raises(ResourceExceededError):
+            machine.run("01", max_space=1)
+
+    def test_missing_transition_rejects(self):
+        machine = TuringMachine(
+            states={"start", "accept", "reject"},
+            transitions={},
+            start_state="start",
+            accept_state="accept",
+            reject_state="reject",
+        )
+        assert machine.run("0").status == "reject"
+
+    def test_invalid_specifications_rejected(self):
+        with pytest.raises(MachineError):
+            TuringMachine({"a"}, {}, "a", "missing_accept", "a")
+        with pytest.raises(MachineError):
+            TuringMachine(
+                {"a", "b", "c"},
+                {("a", "0", BLANK): ("b", "x", 2, 0)},
+                "a",
+                "b",
+                "c",
+            )
+
+    def test_configuration_helpers(self):
+        configuration = Configuration("q", 0, ("x", BLANK, "y"), 1)
+        assert configuration.work_symbol() == BLANK
+        tape, position = configuration.write_work("z", 1)
+        assert tape[1] == "z" and position == 2
+        assert configuration.with_state("r").state == "r"
+
+
+class TestJumpMachines:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("1011", True), ("1000", False), ("111", True), ("0000", False), ("", False)],
+    )
+    def test_at_least_k_ones(self, text, expected):
+        assert at_least_k_ones_machine(3).accepts(text) is expected
+
+    @pytest.mark.parametrize(
+        "text,expected", [("000", False), ("010", True), ("1", True), ("", False)]
+    )
+    def test_contains_one(self, text, expected):
+        assert contains_one_machine(2).accepts(text) is expected
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("00101", True), ("0110", False), ("101", True), ("11011", True), ("1100", False)],
+    )
+    def test_substring(self, text, expected):
+        assert substring_machine("101").accepts(text) is expected
+
+    def test_injective_versus_plain_jumps(self):
+        """Injectivity is exactly what separates "k ones" from "some one"."""
+        assert not at_least_k_ones_machine(2).accepts("10")
+        assert contains_one_machine(2).accepts("10")
+
+    def test_accepting_run_statistics(self):
+        machine = at_least_k_ones_machine(2)
+        statistics = machine.run("0101")
+        assert statistics.accepted
+        assert statistics.jumps_used == 2
+        assert len(set(statistics.jump_targets)) == 2
+        assert statistics.max_space <= 4
+
+    def test_path_resource_profile(self):
+        machine = at_least_k_ones_machine(2)
+        assert machine.respects_path_resources("010101", parameter=2)
+
+    def test_jump_state_must_be_special(self):
+        base = _counter_machine()
+        with pytest.raises(MachineError):
+            JumpMachine(base, "start", max_jumps=1)
+
+
+class TestAlternatingMachines:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("01", True), ("10", True), ("0011", True), ("000", False), ("111", False)],
+    )
+    def test_both_bits(self, text, expected):
+        assert alternating_both_bits_machine(2).accepts(text) is expected
+
+    def test_round_budgets_respected(self):
+        machine = alternating_both_bits_machine(3)
+        statistics = machine.run("0101")
+        assert statistics.accepted
+        assert statistics.max_jumps_on_a_branch <= 3
+        assert statistics.max_universal_guesses_on_a_branch <= 3
+
+
+class TestConfigurationGraphs:
+    def test_jump_graph_levels(self):
+        machine = contains_one_machine(2)
+        graph = build_jump_configuration_graph(machine, "0100")
+        assert len(graph.levels) == machine.max_jumps + 1
+        assert graph.levels[0][0] == machine.machine.initial_configuration()
+        assert graph.accepts_within_levels() == machine.accepts("0100")
+
+    def test_jump_graph_rejects_when_machine_rejects(self):
+        machine = contains_one_machine(2)
+        graph = build_jump_configuration_graph(machine, "0000")
+        assert not any(level == machine.max_jumps for level, _ in graph.accepting)
+
+    def test_alternating_graph_edges_carry_branch_bits(self):
+        machine = alternating_both_bits_machine(2)
+        graph = build_alternating_configuration_graph(machine, "01")
+        bits = {bit for (_, _, bit, _) in graph.edges}
+        assert bits == {0, 1}
+
+    def test_alternating_graph_acceptance_only_at_leaves(self):
+        machine = alternating_both_bits_machine(2)
+        graph = build_alternating_configuration_graph(machine, "01")
+        assert all(level == machine.max_jumps for level, _ in graph.accepting)
+
+
+class TestHashFamily:
+    def test_primes(self):
+        assert [p for p in primes_below(20)] == [2, 3, 5, 7, 11, 13, 17, 19]
+        assert is_prime(97) and not is_prime(91)
+
+    def test_hash_values_in_range(self):
+        k = 3
+        for p, q in list(family_parameters(k, 32))[:20]:
+            for m in range(1, 33):
+                assert 0 <= hash_value(p, q, k, m) < k * k
+
+    @pytest.mark.parametrize(
+        "subset,n",
+        [([3, 7, 9], 20), ([1, 2, 3, 4], 16), ([5, 11, 17, 23, 29], 32), ([2], 8)],
+    )
+    def test_injective_pair_exists(self, subset, n):
+        """Lemma 3.14: some (p, q) with p < k² log n is injective on the subset."""
+        pair = find_injective_pair(subset, n)
+        assert pair is not None
+        p, q = pair
+        assert q < p < prime_bound(len(subset), n)
+        k = len(subset)
+        images = {hash_value(p, q, k, m) for m in subset}
+        assert len(images) == len(subset)
+
+    def test_injective_fraction_positive(self):
+        assert injective_fraction([3, 9, 14], 16) > 0

@@ -1,0 +1,168 @@
+"""Tests for the Theorem 4.7 reduction chain and the concrete problems package."""
+
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.graphlib import Graph
+from repro.homomorphism import has_homomorphism
+from repro.problems import (
+    find_st_path,
+    has_k_path_regular,
+    has_simple_cycle,
+    has_simple_directed_cycle,
+    has_simple_directed_path,
+    has_simple_path,
+    has_simple_path_color_coding,
+    k_path_sentence,
+    solve_st_path,
+    solve_st_path_guess_and_check,
+)
+from repro.reductions import (
+    HomInstance,
+    StPathInstance,
+    directed_path_to_st_path,
+    hom_pstar_to_colored_odd_cycle,
+    hom_pstar_to_directed_odd_cycle,
+    hom_pstar_to_directed_path,
+    hom_pstar_to_st_path,
+    pad_to_exact_parity,
+    st_path_to_directed_odd_cycle,
+)
+from repro.structures import (
+    cycle_graph,
+    grid_graph,
+    path,
+    path_graph,
+    star_expansion,
+    star_graph,
+    structure_graph,
+)
+from tests.conftest import colored_target_for
+
+
+class TestPathChain:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_every_link_preserves_the_answer(self, seed):
+        pattern_star = star_expansion(path(3))
+        target = colored_target_for(pattern_star, 5, 0.45, seed)
+        instance = HomInstance(pattern_star, target)
+        answer = has_homomorphism(instance.pattern, instance.target)
+
+        directed = hom_pstar_to_directed_path(instance)
+        assert has_homomorphism(directed.pattern, directed.target) == answer
+
+        st_instance = directed_path_to_st_path(directed)
+        assert solve_st_path(st_instance) == answer
+
+        odd_cycle = hom_pstar_to_directed_odd_cycle(instance)
+        assert has_homomorphism(odd_cycle.pattern, odd_cycle.target) == answer
+
+        colored = hom_pstar_to_colored_odd_cycle(instance)
+        assert has_homomorphism(colored.pattern, colored.target) == answer
+
+    @pytest.mark.parametrize("length", [2, 4])
+    def test_chain_on_longer_paths(self, length):
+        pattern_star = star_expansion(path(length))
+        target = colored_target_for(pattern_star, 4, 0.5, length)
+        instance = HomInstance(pattern_star, target)
+        answer = has_homomorphism(instance.pattern, instance.target)
+        assert solve_st_path(hom_pstar_to_st_path(instance)) == answer
+
+    def test_parity_padding(self):
+        graph = path_graph(4)
+        instance = StPathInstance(graph, 1, 4, 3)
+        padded = pad_to_exact_parity(instance, 0)
+        assert padded.length_bound == 4
+        assert solve_st_path(padded) == solve_st_path(instance)
+        assert pad_to_exact_parity(instance, 1) is instance
+
+    def test_odd_cycle_reduction_requires_even_bound(self):
+        instance = StPathInstance(path_graph(4), 1, 4, 3)
+        with pytest.raises(ReductionError):
+            st_path_to_directed_odd_cycle(instance)
+
+    def test_odd_cycle_pattern_is_odd(self):
+        pattern_star = star_expansion(path(3))
+        target = colored_target_for(pattern_star, 4, 0.5, 2)
+        colored = hom_pstar_to_colored_odd_cycle(HomInstance(pattern_star, target))
+        from repro.structures import strip_star_expansion
+
+        cycle_length = len(strip_star_expansion(colored.pattern))
+        assert cycle_length % 2 == 1
+
+
+class TestStPathProblem:
+    def test_bfs_and_guess_and_check_agree(self):
+        graph = grid_graph(3, 3)
+        for bound in range(1, 6):
+            instance = StPathInstance(graph, (0, 0), (2, 2), bound)
+            assert solve_st_path(instance) == solve_st_path_guess_and_check(instance)
+
+    def test_known_answers(self):
+        graph = grid_graph(2, 3)
+        assert solve_st_path(StPathInstance(graph, (0, 0), (1, 2), 3))
+        assert not solve_st_path(StPathInstance(graph, (0, 0), (1, 2), 2))
+
+    def test_witness_path(self):
+        graph = cycle_graph(6)
+        witness = find_st_path(StPathInstance(graph, 1, 4, 3))
+        assert witness is not None and witness[0] == 1 and witness[-1] == 4
+        assert find_st_path(StPathInstance(graph, 1, 4, 2)) is None
+
+    def test_disconnected(self):
+        graph = Graph([1, 2, 3], [(1, 2)])
+        assert not solve_st_path(StPathInstance(graph, 1, 3, 5))
+
+
+class TestSimplePathAndCycleProblems:
+    def test_simple_path_known(self):
+        assert has_simple_path(cycle_graph(5), 5)
+        assert not has_simple_path(cycle_graph(5), 6)
+        assert has_simple_path(grid_graph(2, 3), 6)
+        assert not has_simple_path(star_graph(4), 4)
+
+    def test_simple_directed_path(self):
+        from repro.structures import directed_cycle, structure_digraph
+
+        digraph = structure_digraph(directed_cycle(4))
+        assert has_simple_directed_path(digraph, 4)
+        assert not has_simple_directed_path(digraph, 5)
+
+    def test_simple_cycle(self):
+        assert has_simple_cycle(cycle_graph(5), 5)
+        assert not has_simple_cycle(cycle_graph(5), 4)
+        assert has_simple_cycle(grid_graph(2, 2), 4)
+        assert not has_simple_cycle(path_graph(5), 3)
+
+    def test_simple_directed_cycle(self):
+        from repro.structures import directed_cycle, structure_digraph
+
+        digraph = structure_digraph(directed_cycle(5))
+        assert has_simple_directed_cycle(digraph, 5)
+        assert not has_simple_directed_cycle(digraph, 3)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_color_coding_agrees_with_exhaustive(self, k):
+        for graph in [cycle_graph(5), grid_graph(2, 3), star_graph(3)]:
+            assert has_simple_path_color_coding(graph, k) == has_simple_path(graph, k)
+
+    def test_k_path_sentence_shape(self):
+        sentence = k_path_sentence(3)
+        assert sentence.quantifier_rank() == 4
+
+
+class TestProposition71RegularGraphs:
+    def test_high_degree_shortcut(self):
+        # 4-regular graph and k=3 < 4: always a path with 3 edges.
+        from repro.structures import clique_graph
+
+        assert has_k_path_regular(clique_graph(5), 3)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_cycle_agrees_with_exhaustive(self, k):
+        graph = cycle_graph(5)
+        assert has_k_path_regular(graph, k) == has_simple_path(graph, k + 1)
+
+    def test_non_regular_rejected(self):
+        with pytest.raises(ReductionError):
+            has_k_path_regular(star_graph(3), 2)

@@ -1,0 +1,116 @@
+"""Tests for Lemma 3.4 (tree/path-decomposition reductions) and Remark 3.5."""
+
+import pytest
+
+from repro.decomposition import (
+    decomposition_of_forest,
+    optimal_path_decomposition,
+    optimal_tree_decomposition,
+)
+from repro.homomorphism import count_homomorphisms, has_homomorphism
+from repro.reductions import (
+    HomInstance,
+    TreeDecompositionReduction,
+    hom_count_preserved,
+    reduce_with_decomposition,
+    reduce_with_path_decomposition,
+)
+from repro.structures import (
+    cycle,
+    gaifman_graph,
+    graph_structure,
+    is_star_expansion,
+    path,
+    random_graph_structure,
+    star,
+    structure_graph,
+)
+from repro.graphlib import is_path_graph, is_tree
+
+
+class TestLemma34:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_answers_preserved_on_paths(self, seed):
+        instance = HomInstance(path(4), random_graph_structure(5, 0.5, seed))
+        reduced = reduce_with_decomposition(instance, optimal_tree_decomposition(path(4)))
+        assert has_homomorphism(instance.pattern, instance.target) == has_homomorphism(
+            reduced.pattern, reduced.target
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_answers_preserved_on_cycles(self, seed):
+        pattern = cycle(4)
+        instance = HomInstance(pattern, random_graph_structure(5, 0.4, seed))
+        reduced = reduce_with_decomposition(instance, optimal_tree_decomposition(pattern))
+        assert has_homomorphism(instance.pattern, instance.target) == has_homomorphism(
+            reduced.pattern, reduced.target
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_remark_35_counts_preserved(self, seed):
+        """Remark 3.5: the reduction is a bijection on homomorphism sets."""
+        pattern = path(4)
+        instance = HomInstance(pattern, random_graph_structure(4, 0.5, seed))
+        assert hom_count_preserved(instance, optimal_tree_decomposition(pattern))
+
+    def test_output_pattern_is_starred_tree(self):
+        pattern = star(3)
+        instance = HomInstance(pattern, random_graph_structure(4, 0.5, 0))
+        reduced = reduce_with_decomposition(instance, optimal_tree_decomposition(pattern))
+        assert is_star_expansion(reduced.pattern)
+        from repro.structures import strip_star_expansion
+
+        assert is_tree(structure_graph(strip_star_expansion(reduced.pattern)))
+
+    def test_path_decomposition_gives_starred_path(self):
+        pattern = path(4)
+        instance = HomInstance(pattern, random_graph_structure(4, 0.5, 1))
+        reduced = reduce_with_path_decomposition(
+            instance, optimal_path_decomposition(pattern)
+        )
+        from repro.structures import strip_star_expansion
+
+        assert is_path_graph(structure_graph(strip_star_expansion(reduced.pattern)))
+        assert has_homomorphism(instance.pattern, instance.target) == has_homomorphism(
+            reduced.pattern, reduced.target
+        )
+
+    def test_forest_decomposition_route(self):
+        pattern = path(5)
+        decomposition = decomposition_of_forest(gaifman_graph(pattern))
+        instance = HomInstance(pattern, cycle(4))
+        reduced = reduce_with_decomposition(instance, decomposition)
+        assert has_homomorphism(pattern, cycle(4)) == has_homomorphism(
+            reduced.pattern, reduced.target
+        )
+
+    def test_reduction_object_and_parameter_bound(self):
+        reduction = TreeDecompositionReduction(optimal_tree_decomposition)
+        instance = HomInstance(path(3), random_graph_structure(4, 0.5, 2))
+        reduced = reduction.apply(instance)
+        assert reduced.parameter() <= reduction.parameter_bound(instance.parameter())
+        assert reduction.preserves_answer(
+            instance,
+            lambda inst: has_homomorphism(inst.pattern, inst.target),
+            lambda inst: has_homomorphism(inst.pattern, inst.target),
+        )
+
+    def test_works_with_nontrivial_vocabulary(self):
+        """Lemma 3.4 applies to arbitrary bounded-arity structures, not just graphs."""
+        from repro.structures import Structure, Vocabulary
+
+        vocabulary = Vocabulary({"R": 3})
+        pattern = Structure(vocabulary, [1, 2, 3, 4], {"R": [(1, 2, 3), (2, 3, 4)]})
+        target = Structure(
+            vocabulary,
+            ["a", "b", "c"],
+            {"R": [("a", "b", "c"), ("b", "c", "a"), ("c", "a", "b")]},
+        )
+        instance = HomInstance(pattern, target)
+        reduced = reduce_with_decomposition(instance, optimal_tree_decomposition(pattern))
+        assert has_homomorphism(pattern, target) == has_homomorphism(
+            reduced.pattern, reduced.target
+        )
+        assert count_homomorphisms(pattern, target) == count_homomorphisms(
+            reduced.pattern, reduced.target
+        )

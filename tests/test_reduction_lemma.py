@@ -1,0 +1,170 @@
+"""Tests for the Reduction Lemma chain: Lemmas 3.7, 3.8, 3.9 and their composition."""
+
+import pytest
+
+from repro.exceptions import ReductionError
+from repro.homomorphism import has_embedding, has_homomorphism
+from repro.minors import find_minor_map
+from repro.reductions import (
+    CoreStarReduction,
+    GaifmanReduction,
+    HomInstance,
+    MinorReduction,
+    ReductionLemmaChain,
+    reduce_core_star_instance,
+    reduce_core_star_to_embedding,
+    reduce_gaifman_instance,
+    reduce_minor_instance,
+)
+from repro.structures import (
+    Structure,
+    Vocabulary,
+    cycle,
+    cycle_graph,
+    gaifman_graph,
+    graph_structure,
+    grid_graph,
+    path,
+    path_graph,
+    star_expansion,
+)
+from tests.conftest import colored_target_for
+
+
+class TestMinorReductionLemma37:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_path_minor_of_cycle(self, seed):
+        pattern_star = star_expansion(path(3))
+        target = colored_target_for(pattern_star, 5, 0.5, seed)
+        instance = HomInstance(pattern_star, target)
+        reduced = MinorReduction(cycle_graph(5)).apply(instance)
+        assert has_homomorphism(instance.pattern, instance.target) == has_homomorphism(
+            reduced.pattern, reduced.target
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cycle_minor_of_grid(self, seed):
+        pattern_star = star_expansion(cycle(3))
+        target = colored_target_for(pattern_star, 4, 0.6, seed)
+        instance = HomInstance(pattern_star, target)
+        host = grid_graph(2, 2)
+        minor_map = find_minor_map(cycle_graph(3), host)
+        assert minor_map is not None
+        reduced = reduce_minor_instance(instance, host, minor_map)
+        assert has_homomorphism(instance.pattern, instance.target) == has_homomorphism(
+            reduced.pattern, reduced.target
+        )
+
+    def test_non_minor_rejected(self):
+        pattern_star = star_expansion(cycle(3))
+        instance = HomInstance(pattern_star, colored_target_for(pattern_star, 4, 0.5, 0))
+        with pytest.raises(ReductionError):
+            MinorReduction(path_graph(5)).apply(instance)
+
+    def test_output_pattern_is_starred_host(self):
+        pattern_star = star_expansion(path(2))
+        instance = HomInstance(pattern_star, colored_target_for(pattern_star, 4, 0.5, 1))
+        reduced = MinorReduction(cycle_graph(4)).apply(instance)
+        assert len(reduced.pattern) == 4
+
+
+class TestGaifmanReductionLemma38:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ternary_structure(self, seed):
+        vocabulary = Vocabulary({"R": 3})
+        structure = Structure(vocabulary, [1, 2, 3, 4], {"R": [(1, 2, 3), (2, 3, 4)]})
+        pattern_star = star_expansion(graph_structure(gaifman_graph(structure)))
+        target = colored_target_for(pattern_star, 4, 0.6, seed)
+        instance = HomInstance(pattern_star, target)
+        reduced = GaifmanReduction(structure).apply(instance)
+        assert has_homomorphism(instance.pattern, instance.target) == has_homomorphism(
+            reduced.pattern, reduced.target
+        )
+
+    def test_mismatched_pattern_rejected(self):
+        structure = cycle(4)
+        pattern_star = star_expansion(path(3))
+        instance = HomInstance(pattern_star, colored_target_for(pattern_star, 4, 0.5, 0))
+        with pytest.raises(ReductionError):
+            reduce_gaifman_instance(instance, structure)
+
+
+class TestCoreStarReductionLemma39:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_odd_cycle(self, seed):
+        pattern_star = star_expansion(cycle(5))
+        target = colored_target_for(pattern_star, 6, 0.5, seed)
+        instance = HomInstance(pattern_star, target)
+        reduced = CoreStarReduction().apply(instance)
+        assert reduced.pattern == cycle(5)
+        assert has_homomorphism(instance.pattern, instance.target) == has_homomorphism(
+            reduced.pattern, reduced.target
+        )
+
+    def test_non_core_rejected(self):
+        pattern_star = star_expansion(cycle(4))  # C4 is not a core
+        instance = HomInstance(pattern_star, colored_target_for(pattern_star, 5, 0.5, 0))
+        with pytest.raises(ReductionError):
+            CoreStarReduction().apply(instance)
+        # ... but the check can be disabled for experimentation.
+        CoreStarReduction(check_core=False).apply(instance)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_corollary_310_embedding_variant(self, seed):
+        """Corollary 3.10: the same target also decides the embedding problem."""
+        pattern_star = star_expansion(cycle(3))
+        target = colored_target_for(pattern_star, 5, 0.6, seed)
+        instance = HomInstance(pattern_star, target)
+        embedded = reduce_core_star_to_embedding(instance)
+        assert has_homomorphism(instance.pattern, instance.target) == has_embedding(
+            embedded.pattern, embedded.target
+        )
+
+    def test_empty_colour_classes_give_no(self):
+        pattern_star = star_expansion(cycle(3))
+        # Target with all colour classes empty but some edges.
+        target = Structure(
+            pattern_star.vocabulary,
+            ["a", "b"],
+            {"E": [("a", "b"), ("b", "a")]},
+        )
+        instance = HomInstance(pattern_star, target)
+        reduced = reduce_core_star_instance(instance)
+        assert not has_homomorphism(reduced.pattern, reduced.target)
+
+
+class TestReductionLemmaChain:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_full_chain_path_into_cycle_family(self, seed):
+        chain = ReductionLemmaChain(cycle(5), path_graph(3))
+        pattern_star = star_expansion(path(3))
+        target = colored_target_for(pattern_star, 4, 0.5, seed)
+        instance = HomInstance(pattern_star, target)
+        out = chain.apply(instance)
+        assert out.pattern == cycle(5)
+        assert has_homomorphism(instance.pattern, instance.target) == has_homomorphism(
+            out.pattern, out.target
+        )
+
+    def test_intermediate_instances_all_equivalent(self):
+        chain = ReductionLemmaChain(cycle(5), path_graph(3))
+        pattern_star = star_expansion(path(3))
+        target = colored_target_for(pattern_star, 4, 0.5, 7)
+        instance = HomInstance(pattern_star, target)
+        answer = has_homomorphism(instance.pattern, instance.target)
+        for name, step in chain.intermediate_instances(instance).items():
+            assert has_homomorphism(step.pattern, step.target) == answer, name
+
+    def test_chain_uses_core_of_class_member(self):
+        # The core of C6 is a single edge, so only edge-minors can be lifted.
+        chain = ReductionLemmaChain(cycle(6), path_graph(2))
+        assert len(chain.core) == 2
+        with pytest.raises(ReductionError):
+            ReductionLemmaChain(cycle(6), path_graph(3))
+
+    def test_parameter_bound(self):
+        chain = ReductionLemmaChain(cycle(5), path_graph(3))
+        pattern_star = star_expansion(path(3))
+        target = colored_target_for(pattern_star, 4, 0.5, 3)
+        out = chain.apply(HomInstance(pattern_star, target))
+        assert out.parameter() <= chain.parameter_bound(pattern_star.size())

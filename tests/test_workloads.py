@@ -1,0 +1,64 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.homomorphism import has_homomorphism
+from repro.structures import is_star_expansion, path, star_expansion
+from repro.workloads import (
+    EXPECTED_DEGREES,
+    all_family_names,
+    colored_path_target,
+    emb_instances_for_pattern,
+    family_by_name,
+    hom_instances_for_pattern,
+)
+
+
+class TestFamilies:
+    def test_every_registered_family_builds(self):
+        for name in all_family_names():
+            members = family_by_name(name, 3)
+            assert len(members) == 3
+            assert all(len(member) >= 1 for member in members)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            family_by_name("nonexistent", 3)
+
+    def test_expected_degrees_cover_all_families(self):
+        assert set(all_family_names()) == set(EXPECTED_DEGREES)
+
+    def test_families_grow(self):
+        for name in ("directed_paths", "starred_binary_trees", "cliques"):
+            members = family_by_name(name, 4)
+            sizes = [len(member) for member in members]
+            assert sizes == sorted(sizes) and sizes[0] < sizes[-1]
+
+
+class TestTargets:
+    def test_planted_instances_are_yes(self):
+        pattern = path(4)
+        for instance in hom_instances_for_pattern(pattern, [6, 8], planted=True):
+            assert has_homomorphism(instance.pattern, instance.target)
+
+    def test_random_instances_have_requested_sizes(self):
+        pattern = star_expansion(path(3))
+        instances = hom_instances_for_pattern(pattern, [5, 7], planted=False)
+        assert [len(instance.target) for instance in instances] == [5, 7]
+
+    def test_colored_path_target_shape(self):
+        target = colored_path_target(4, width=3, edge_probability=0.5, seed=1)
+        assert len(target) == 12
+        assert is_star_expansion(star_expansion(path(4))) # sanity: helper available
+        # Every layer colour is non-empty with exactly `width` members.
+        from repro.structures import color_symbol
+
+        for layer in range(1, 5):
+            assert len(target.relation(color_symbol(layer))) == 3
+
+    def test_colored_path_target_deterministic(self):
+        assert colored_path_target(3, 2, 0.5, seed=5) == colored_path_target(3, 2, 0.5, seed=5)
+
+    def test_emb_instances(self):
+        instances = emb_instances_for_pattern(path(3), [4, 6])
+        assert [len(instance.target) for instance in instances] == [4, 6]
