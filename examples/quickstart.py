@@ -5,7 +5,14 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro.cq import Database, parse_query
+from repro.cq import Database, evaluate_query_set, parse_query
+from repro.homomorphism import (
+    BOOLEAN,
+    COUNTING,
+    count_homomorphisms_join,
+    run_decomposition_dp,
+)
+from repro.decomposition import good_tree_decomposition
 
 
 def main() -> None:
@@ -32,9 +39,32 @@ def main() -> None:
     print("triangle present?", triangle.holds_on(database))
     print("number of triangle matches:", triangle.count_matches(database))
 
-    # A path-shaped query evaluates through a different algorithmic regime.
-    path_query = parse_query("E(a, b), E(b, c), E(c, d)")
-    print("path query present?", path_query.holds_on(database))
+    # The semiring join engine runs the decomposition DP with indexed
+    # candidate lookups; one sweep serves existence (Boolean semiring) and
+    # counting (natural-number semiring).
+    pattern = triangle.canonical_structure()
+    target = database.to_structure(triangle.vocabulary())
+    decomposition = good_tree_decomposition(pattern)
+    print(
+        "join engine existence:",
+        bool(run_decomposition_dp(pattern, target, decomposition, BOOLEAN)),
+    )
+    print(
+        "join engine count:",
+        run_decomposition_dp(pattern, target, decomposition, COUNTING),
+    )
+    print("convenience wrapper count:", count_homomorphisms_join(pattern, target))
+
+    # Whole query workloads go through the batched evaluator, which caches
+    # classification profiles and the database→structure conversion across
+    # the queries of the batch and reports the algorithmic regime per query.
+    queries = [
+        triangle,
+        parse_query("E(a, b), E(b, c), E(c, d)"),   # a path-shaped query
+        parse_query("E(u, v), E(v, u)"),             # a back-and-forth edge
+    ]
+    for query, result in evaluate_query_set(queries, database):
+        print(f"  {query}  →  {result.answer}  [{result.solver}]")
 
 
 if __name__ == "__main__":

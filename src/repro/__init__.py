@@ -10,11 +10,11 @@ depth, pathwidth and treewidth of the query cores.
 This package implements every object and algorithm the paper relies on:
 
 * :mod:`repro.structures` — relational structures, named families, star
-  expansions, Gaifman graphs, products;
+  expansions, Gaifman graphs, products, per-relation hash indexes;
 * :mod:`repro.graphlib`, :mod:`repro.decomposition`, :mod:`repro.minors` —
   graphs, tree/path decompositions, tree depth, minor maps;
 * :mod:`repro.homomorphism` — homomorphism/embedding solvers (backtracking,
-  decomposition DP, tree-depth recursion), cores;
+  the semiring join engine, decomposition DP, tree-depth recursion), cores;
 * :mod:`repro.logic` — first-order formulas, Chandra–Merlin translations,
   the space-accounted model checker, tree-depth sentences;
 * :mod:`repro.machines` — Turing machines, jump machines, alternating jump
@@ -36,6 +36,29 @@ Quickstart::
     profile = query.classify()                               # core widths
     database = Database({"E": [(1, 2), (2, 3), (3, 1)]})
     print(query.holds_on(database))                          # True
+
+The decomposition-based solvers run on the **semiring join engine**
+(:mod:`repro.homomorphism.join_engine`): bag tables are built by indexed
+candidate lookups instead of the ``|B|^|bag|`` product, joined bottom-up
+with an iterative worklist, and parameterized by a semiring so Boolean
+existence and Section-6 counting share one sweep::
+
+    from repro.homomorphism import (
+        BOOLEAN, COUNTING, run_decomposition_dp,
+        count_homomorphisms_join, homomorphism_exists_join,
+    )
+
+    homomorphism_exists_join(pattern, database_structure)   # existence
+    count_homomorphisms_join(pattern, database_structure)   # exact count
+
+Whole query workloads go through the batched evaluator, which caches
+classification profiles and database→structure conversions across the
+queries of the batch::
+
+    from repro.cq import evaluate_query_set
+
+    for query, result in evaluate_query_set(queries, database):
+        print(query, result.answer, result.solver)
 """
 
 from repro.classification import (
@@ -48,12 +71,17 @@ from repro.classification import (
     solve_hom,
 )
 from repro.counting import CountResult, count_hom
-from repro.cq import ConjunctiveQuery, Database, parse_query
+from repro.cq import ConjunctiveQuery, Database, evaluate_query_set, parse_query
 from repro.homomorphism import (
+    BOOLEAN,
+    COUNTING,
+    Semiring,
     core,
     count_homomorphisms,
+    count_homomorphisms_join,
     has_embedding,
     has_homomorphism,
+    homomorphism_exists_join,
     is_core,
 )
 from repro.structures import Structure, Vocabulary
@@ -81,4 +109,10 @@ __all__ = [
     "SolveResult",
     "count_hom",
     "CountResult",
+    "Semiring",
+    "BOOLEAN",
+    "COUNTING",
+    "homomorphism_exists_join",
+    "count_homomorphisms_join",
+    "evaluate_query_set",
 ]

@@ -28,10 +28,7 @@ from repro.decomposition.width import (
     good_tree_decomposition,
 )
 from repro.homomorphism.backtracking import has_homomorphism
-from repro.homomorphism.decomposition_solver import (
-    homomorphism_exists_pd,
-    homomorphism_exists_td,
-)
+from repro.homomorphism.join_engine import BOOLEAN, run_decomposition_dp, run_path_sweep
 from repro.homomorphism.treedepth_solver import TreeDepthSolver
 from repro.structures.structure import Structure
 
@@ -87,12 +84,12 @@ def solve_hom(
         solver = "treedepth-recursion (Lemma 3.3)"
     elif degree is ComplexityDegree.PATH_COMPLETE:
         decomposition = good_path_decomposition(effective)
-        answer = homomorphism_exists_pd(effective, target, decomposition)
-        solver = "path-decomposition sweep (Theorem 4.6)"
+        answer = bool(run_path_sweep(effective, target, decomposition, BOOLEAN))
+        solver = "semiring join engine, path sweep (Theorem 4.6)"
     elif degree is ComplexityDegree.TREE_COMPLETE:
         decomposition = good_tree_decomposition(effective)
-        answer = homomorphism_exists_td(effective, target, decomposition)
-        solver = "tree-decomposition DP (Lemma 3.4)"
+        answer = bool(run_decomposition_dp(effective, target, decomposition, BOOLEAN))
+        solver = "semiring join engine, tree-decomposition DP (Lemma 3.4)"
     else:
         answer = has_homomorphism(effective, target)
         solver = "generic backtracking (W[1]-hard regime)"

@@ -25,7 +25,7 @@ from repro.classification.degrees import ComplexityDegree, degree_from_width_bou
 from repro.classification.classifier import looks_bounded
 from repro.decomposition.width import good_tree_decomposition, width_profile
 from repro.homomorphism.backtracking import count_homomorphisms
-from repro.homomorphism.decomposition_solver import count_homomorphisms_td
+from repro.homomorphism.join_engine import COUNTING, run_decomposition_dp
 from repro.homomorphism.treedepth_solver import count_homomorphisms_treedepth
 from repro.structures.structure import Structure
 
@@ -72,12 +72,16 @@ def count_hom(pattern: Structure, target: Structure) -> CountResult:
         solver = "brute force (#W[1]-hard regime)"
     elif pw > COUNT_PATHWIDTH_THRESHOLD:
         degree = ComplexityDegree.TREE_COMPLETE
-        count = count_homomorphisms_td(pattern, target, good_tree_decomposition(pattern))
-        solver = "tree-decomposition counting DP"
+        count = run_decomposition_dp(
+            pattern, target, good_tree_decomposition(pattern), COUNTING
+        )
+        solver = "semiring join engine, tree-decomposition counting DP"
     elif td > COUNT_TREEDEPTH_THRESHOLD:
         degree = ComplexityDegree.PATH_COMPLETE
-        count = count_homomorphisms_td(pattern, target, good_tree_decomposition(pattern))
-        solver = "path/tree-decomposition counting DP"
+        count = run_decomposition_dp(
+            pattern, target, good_tree_decomposition(pattern), COUNTING
+        )
+        solver = "semiring join engine, path/tree-decomposition counting DP"
     else:
         degree = ComplexityDegree.PARA_L
         count = count_homomorphisms_treedepth(pattern, target)

@@ -5,37 +5,95 @@ a database B, decide whether φ is true on B — parameterized by the query.
 These helpers evaluate query sets with the degree-aware solver dispatch
 and classify whole query sets with the Theorem 3.1 machinery, providing
 the "database-flavoured" entry point to the library.
+
+:func:`evaluate_query_set` is batched: across the queries of one call (and
+across calls, via a bounded module-level cache) it reuses
+
+* the classification profile of each distinct canonical structure — the
+  expensive core/width computation that picks the solver, and
+* the database→structure conversion per distinct vocabulary — queries
+  over the same schema share one target structure, which also lets the
+  join engine reuse its per-target hash indexes.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Sequence, Tuple
 
-from repro.classification.classifier import ClassificationReport, classify_family
+from repro.classification.classifier import (
+    ClassificationReport,
+    StructureProfile,
+    classify_family,
+    classify_structure,
+)
 from repro.classification.solver_dispatch import SolveResult, solve_hom
 from repro.cq.database import Database
 from repro.cq.query import ConjunctiveQuery
 from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+#: Bounded LRU cache of classification profiles, keyed by the (immutable,
+#: hashable) canonical structure.  Classification dominates repeated
+#: EVAL(Φ) runs — the answer only depends on the structure, so it is safe
+#: to share across calls.
+_PROFILE_CACHE: "OrderedDict[Structure, StructureProfile]" = OrderedDict()
+_PROFILE_CACHE_LIMIT = 256
+
+
+def _cached_profile(pattern: Structure) -> StructureProfile:
+    profile = _PROFILE_CACHE.get(pattern)
+    if profile is None:
+        profile = classify_structure(pattern)
+        if len(_PROFILE_CACHE) >= _PROFILE_CACHE_LIMIT:
+            _PROFILE_CACHE.popitem(last=False)
+        _PROFILE_CACHE[pattern] = profile
+    else:
+        _PROFILE_CACHE.move_to_end(pattern)
+    return profile
+
+
+def clear_profile_cache() -> None:
+    """Drop all cached classification profiles (mainly for tests)."""
+    _PROFILE_CACHE.clear()
 
 
 def evaluate_query_set(
-    queries: Sequence[ConjunctiveQuery], database: Database | Structure
+    queries: Sequence[ConjunctiveQuery],
+    database: Database | Structure,
+    use_cache: bool = True,
 ) -> List[Tuple[ConjunctiveQuery, SolveResult]]:
     """Evaluate every query of a set on a database with degree-aware solving.
 
     Returns the list of ``(query, SolveResult)`` pairs, so callers see both
     the answers and which of the three algorithmic regimes each query fell
-    into.
+    into.  The batch shares work across queries: one classification per
+    distinct canonical structure and one database→structure conversion per
+    distinct vocabulary.  ``use_cache=False`` additionally bypasses the
+    cross-call profile cache (each batch still deduplicates internally).
     """
     results: List[Tuple[ConjunctiveQuery, SolveResult]] = []
+    targets: Dict[Vocabulary, Structure] = {}
+    local_profiles: Dict[Structure, StructureProfile] = {}
     for query in queries:
         pattern = query.canonical_structure()
-        target = (
-            database.to_structure(query.vocabulary())
-            if isinstance(database, Database)
-            else database
-        )
-        results.append((query, solve_hom(pattern, target)))
+        vocabulary = query.vocabulary()
+        target = targets.get(vocabulary)
+        if target is None:
+            target = (
+                database.to_structure(vocabulary)
+                if isinstance(database, Database)
+                else database
+            )
+            targets[vocabulary] = target
+        if use_cache:
+            profile = _cached_profile(pattern)
+        else:
+            profile = local_profiles.get(pattern)
+            if profile is None:
+                profile = classify_structure(pattern)
+                local_profiles[pattern] = profile
+        results.append((query, solve_hom(pattern, target, profile=profile)))
     return results
 
 

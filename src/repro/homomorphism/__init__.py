@@ -3,8 +3,13 @@
 * :mod:`repro.homomorphism.backtracking` — generic CSP-style solver
   (ground truth for all specialised algorithms).
 * :mod:`repro.homomorphism.cores` — cores and homomorphic equivalence.
+* :mod:`repro.homomorphism.join_engine` — the semiring join engine:
+  indexed, semiring-parameterized DP over tree/path decompositions (one
+  code path for existence and counting).
 * :mod:`repro.homomorphism.decomposition_solver` — DP over tree / path
-  decompositions (the FPT algorithm behind Lemma 3.4 / Theorem 4.6).
+  decompositions (the FPT algorithm behind Lemma 3.4 / Theorem 4.6),
+  routed through the join engine; the ``legacy_*`` variants keep the
+  product-based reference implementation.
 * :mod:`repro.homomorphism.treedepth_solver` — the bounded-tree-depth
   recursion of Lemma 3.3 (the para-L case of the classification).
 """
@@ -35,6 +40,20 @@ from repro.homomorphism.decomposition_solver import (
     count_homomorphisms_td,
     homomorphism_exists_pd,
     homomorphism_exists_td,
+    legacy_count_homomorphisms_td,
+    legacy_homomorphism_exists_pd,
+    legacy_homomorphism_exists_td,
+)
+from repro.homomorphism.join_engine import (
+    BOOLEAN,
+    COUNTING,
+    MIN_PLUS,
+    Semiring,
+    count_homomorphisms_join,
+    homomorphism_exists_join,
+    iter_bag_assignments,
+    run_decomposition_dp,
+    run_path_sweep,
 )
 from repro.homomorphism.treedepth_solver import (
     TreeDepthSolver,
@@ -64,6 +83,18 @@ __all__ = [
     "count_homomorphisms_td",
     "homomorphism_exists_pd",
     "count_homomorphisms_pd",
+    "legacy_count_homomorphisms_td",
+    "legacy_homomorphism_exists_td",
+    "legacy_homomorphism_exists_pd",
+    "Semiring",
+    "BOOLEAN",
+    "COUNTING",
+    "MIN_PLUS",
+    "run_decomposition_dp",
+    "run_path_sweep",
+    "homomorphism_exists_join",
+    "count_homomorphisms_join",
+    "iter_bag_assignments",
     "TreeDepthSolver",
     "homomorphism_exists_treedepth",
     "count_homomorphisms_treedepth",

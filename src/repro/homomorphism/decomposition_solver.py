@@ -10,18 +10,33 @@ For path decompositions the same sweep specialises to a left-to-right scan
 whose live state is a single bag's worth of partial homomorphisms — this is
 exactly the guess-and-check structure that Theorem 4.6 turns into a PATH
 machine.
+
+The public functions now route through the semiring join engine of
+:mod:`repro.homomorphism.join_engine`, which produces bag tables with
+indexed candidate lookups instead of the full ``|B|^|bag|`` product.  The
+original product-based implementations are kept as the ``legacy_*``
+functions: they are the reference the cross-solver equivalence harness
+checks the engine against, and the baseline the benchmarks measure the
+speedup from.
 """
 
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from repro.decomposition.path_decomposition import PathDecomposition
 from repro.decomposition.tree_decomposition import TreeDecomposition
 from repro.exceptions import DecompositionError
 from repro.homomorphism.backtracking import is_partial_homomorphism
+from repro.homomorphism.join_engine import (
+    BOOLEAN,
+    COUNTING,
+    run_decomposition_dp,
+    run_path_sweep,
+)
 from repro.structures.gaifman import gaifman_graph
+from repro.structures.indexes import stable_key
 from repro.structures.structure import Structure
 
 Element = Hashable
@@ -29,23 +44,34 @@ PartialMap = Tuple[Tuple[Element, Element], ...]  # canonical (sorted) item tupl
 
 
 def _canonical(mapping: Dict[Element, Element]) -> PartialMap:
-    return tuple(sorted(mapping.items(), key=lambda item: repr(item[0])))
+    # Sorting by repr alone is unstable for repr-colliding or mixed-type
+    # elements; stable_key disambiguates by type name first.
+    return tuple(sorted(mapping.items(), key=lambda item: stable_key(item[0])))
 
 
 def _bag_homomorphisms(
     source: Structure, target: Structure, bag: FrozenSet[Element]
 ) -> List[Dict[Element, Element]]:
-    """Enumerate all partial homomorphisms from ``source`` to ``target`` with domain ``bag``."""
-    bag_elements = sorted(bag, key=repr)
+    """Enumerate all partial homomorphisms from ``source`` to ``target`` with domain ``bag``.
+
+    This is the legacy product-based enumeration — ``|B|^|bag|`` candidates
+    each checked from scratch.  The join engine replaces it on the hot
+    paths; it survives as the reference implementation.
+    """
+    bag_elements = sorted(bag, key=stable_key)
     if not bag_elements:
         return [{}]
     result = []
-    for values in product(sorted(target.universe, key=repr), repeat=len(bag_elements)):
+    for values in product(sorted(target.universe, key=stable_key), repeat=len(bag_elements)):
         mapping = dict(zip(bag_elements, values))
         if is_partial_homomorphism(mapping, source, target):
             result.append(mapping)
     return result
 
+
+# ---------------------------------------------------------------------------
+# Engine-backed public API
+# ---------------------------------------------------------------------------
 
 def homomorphism_exists_td(
     source: Structure,
@@ -55,8 +81,9 @@ def homomorphism_exists_td(
     """Decide ``hom(source → target)`` via DP over the given tree decomposition.
 
     The decomposition must decompose the Gaifman graph of ``source``.
+    Runs on the semiring join engine (Boolean semiring).
     """
-    return count_homomorphisms_td(source, target, decomposition) > 0
+    return bool(run_decomposition_dp(source, target, decomposition, BOOLEAN))
 
 
 def count_homomorphisms_td(
@@ -66,11 +93,60 @@ def count_homomorphisms_td(
 ) -> int:
     """Count homomorphisms ``source → target`` via DP over a tree decomposition.
 
-    Standard junction-tree counting: root the decomposition, compute for
-    every node and every partial homomorphism on its bag the number of ways
-    to extend it to the vertices introduced strictly below the node, and
-    combine multiplicatively over children (dividing is avoided by only
-    counting *new* vertices below each child).
+    Standard junction-tree counting (root the decomposition, combine
+    multiplicatively over children, join on shared variables), executed by
+    the semiring join engine under the counting semiring.
+    """
+    return run_decomposition_dp(source, target, decomposition, COUNTING)
+
+
+def homomorphism_exists_pd(
+    source: Structure,
+    target: Structure,
+    decomposition: PathDecomposition,
+) -> bool:
+    """Decide ``hom(source → target)`` by a left-to-right sweep over a path decomposition.
+
+    The live state after processing bag ``i`` is the set of partial
+    homomorphisms with domain ``X_i`` that extend to all vertices seen so
+    far — the same invariant the PATH machine of Theorem 4.6 maintains with
+    nondeterministic jumps.  Runs on the join engine's rolling sweep.
+    """
+    return bool(run_path_sweep(source, target, decomposition, BOOLEAN))
+
+
+def count_homomorphisms_pd(
+    source: Structure,
+    target: Structure,
+    decomposition: PathDecomposition,
+) -> int:
+    """Count homomorphisms via a path decomposition (rolling one-bag sweep)."""
+    return run_path_sweep(source, target, decomposition, COUNTING)
+
+
+# ---------------------------------------------------------------------------
+# Legacy product-based implementations (reference + benchmark baseline)
+# ---------------------------------------------------------------------------
+
+def legacy_homomorphism_exists_td(
+    source: Structure,
+    target: Structure,
+    decomposition: TreeDecomposition,
+) -> bool:
+    """Seed-era existence check: the product-based DP, kept as a reference."""
+    return legacy_count_homomorphisms_td(source, target, decomposition) > 0
+
+
+def legacy_count_homomorphisms_td(
+    source: Structure,
+    target: Structure,
+    decomposition: TreeDecomposition,
+) -> int:
+    """Seed-era counting DP enumerating every ``|B|^|bag|`` bag candidate.
+
+    Kept verbatim (modulo the stable sort fix) so the equivalence harness
+    can cross-check the join engine and the benchmarks can quantify the
+    speedup.
     """
     decomposition.validate_for_structure(source)
     tree = decomposition.tree
@@ -127,18 +203,12 @@ def count_homomorphisms_td(
     return sum(tables[root].values())
 
 
-def homomorphism_exists_pd(
+def legacy_homomorphism_exists_pd(
     source: Structure,
     target: Structure,
     decomposition: PathDecomposition,
 ) -> bool:
-    """Decide ``hom(source → target)`` by a left-to-right sweep over a path decomposition.
-
-    The live state after processing bag ``i`` is the set of partial
-    homomorphisms with domain ``X_i`` that extend to all vertices seen so
-    far — the same invariant the PATH machine of Theorem 4.6 maintains with
-    nondeterministic jumps.
-    """
+    """Seed-era path sweep over product-enumerated bag candidates."""
     decomposition.validate(gaifman_graph(source))
     bags = decomposition.bags
     current: List[Dict[Element, Element]] = []
@@ -159,12 +229,3 @@ def homomorphism_exists_pd(
         if not current:
             return False
     return True
-
-
-def count_homomorphisms_pd(
-    source: Structure,
-    target: Structure,
-    decomposition: PathDecomposition,
-) -> int:
-    """Count homomorphisms via a path decomposition (delegates to the tree DP)."""
-    return count_homomorphisms_td(source, target, decomposition.as_tree_decomposition())

@@ -4,7 +4,8 @@ This package provides vocabularies, finite relational structures, the named
 structure families of Section 2.1 (paths, cycles, binary-tree structures,
 grids, cliques, ...), structural operations (star expansion ``A*``, direct
 products, disjoint unions), Gaifman graphs, isomorphism testing, canonical
-encodings, and seeded random generators.
+encodings, seeded random generators, and the per-relation hash-index layer
+(:mod:`repro.structures.indexes`) backing the semiring join engine.
 """
 
 from repro.structures.builders import (
@@ -44,6 +45,13 @@ from repro.structures.encoding import (
     encoded_length,
 )
 from repro.structures.gaifman import gaifman_graph, is_connected_structure
+from repro.structures.indexes import (
+    RelationIndex,
+    StructureIndex,
+    stable_key,
+    stable_sorted,
+    structure_index,
+)
 from repro.structures.isomorphism import are_isomorphic, find_isomorphism
 from repro.structures.operations import (
     color_symbol,
@@ -108,6 +116,12 @@ __all__ = [
     # gaifman
     "gaifman_graph",
     "is_connected_structure",
+    # indexes
+    "RelationIndex",
+    "StructureIndex",
+    "structure_index",
+    "stable_key",
+    "stable_sorted",
     # isomorphism
     "are_isomorphic",
     "find_isomorphism",
