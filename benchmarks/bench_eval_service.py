@@ -1,0 +1,230 @@
+"""Benchmark: the EVAL(Φ) execution service vs the sequential reference.
+
+Three questions, answered with wall-clock numbers written to a
+machine-readable ``BENCH_eval_service.json``:
+
+1. **Correctness under parallelism** — on every workload scenario the
+   chunked multi-process executor must return byte-identical
+   ``(query, answer, solver)`` results to the sequential reference.
+2. **Speedup** — the headline run evaluates a ≥500-query
+   mixed-vocabulary batch sequentially and through the process pool;
+   with ≥2 real cores the service should win by ≥2x.
+3. **Planner quality** — per query, the cost-based plan is timed against
+   the threshold dispatch; the report records the win rate (fraction of
+   queries where the planner's route was at least as fast).
+
+Run as a script for the full run, or with ``--quick`` for the CI smoke
+run (same checks, smaller scales)::
+
+    PYTHONPATH=src python benchmarks/bench_eval_service.py [--quick]
+
+The correctness checks are always fatal; the 2x speedup assertion only
+applies to full (non-quick) runs on machines with at least two CPUs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Dict, List
+
+from repro.classification.solver_dispatch import PlannerConfig, solve_with_degree
+from repro.cq.evaluation import (
+    _cached_profile,
+    clear_profile_cache,
+    evaluate_query_set_sequential,
+)
+from repro.eval import DatabaseStatistics, EvalService, ExecutorConfig, plan_query
+from repro.workloads import all_scenario_names, scenario_by_name
+
+HEADLINE_SCENARIO = "mixed_vocabulary"
+FULL_HEADLINE_QUERIES = 600
+QUICK_HEADLINE_QUERIES = 120
+FULL_SCENARIO_QUERIES = 60
+QUICK_SCENARIO_QUERIES = 16
+PLANNER_SAMPLE = 40
+REQUIRED_SPEEDUP = 2.0
+SEED = 42
+
+
+def triples(results) -> List[tuple]:
+    return [(str(query), result.answer, result.solver) for query, result in results]
+
+
+def default_workers() -> int:
+    return max(2, min(4, os.cpu_count() or 1))
+
+
+def run_scenario(name: str, count: int, workers: int) -> Dict:
+    """Time one scenario sequentially and through the pool; verify identity."""
+    scenario = scenario_by_name(name, count=count, seed=SEED)
+    clear_profile_cache()
+    start = time.perf_counter()
+    sequential = evaluate_query_set_sequential(scenario.queries, scenario.database)
+    sequential_seconds = time.perf_counter() - start
+
+    clear_profile_cache()
+    config = ExecutorConfig(workers=workers, min_parallel_batch=1)
+    with EvalService(scenario.database, executor=config) as service:
+        start = time.perf_counter()
+        parallel = service.evaluate(scenario.queries)
+        parallel_seconds = time.perf_counter() - start
+
+    identical = triples(sequential) == triples(parallel)
+    return {
+        "scenario": name,
+        "queries": len(scenario.queries),
+        "sequential_seconds": round(sequential_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(sequential_seconds / max(parallel_seconds, 1e-9), 3),
+        "identical": identical,
+    }
+
+
+def run_planner_comparison(count: int) -> Dict:
+    """Time threshold-routed vs cost-routed solving on a query sample.
+
+    Profiles and statistics are computed outside the timed region, so the
+    numbers isolate exactly what the planner controls: the solver route.
+    A query is a planner *win* when the cost route is at least as fast
+    (route agreement counts as a win — same route, same time).
+    """
+    scenario = scenario_by_name(HEADLINE_SCENARIO, count=count, seed=SEED + 1)
+    threshold_config = PlannerConfig()
+    cost_config = PlannerConfig(mode="cost")
+    sample = scenario.queries[:PLANNER_SAMPLE]
+
+    wins = agreements = 0
+    threshold_total = cost_total = 0.0
+    for query in sample:
+        pattern = query.canonical_structure()
+        profile = _cached_profile(pattern)
+        target = scenario.database.to_structure(query.vocabulary())
+        stats = DatabaseStatistics.of(target)
+        threshold_plan = plan_query(profile, stats, threshold_config)
+        cost_plan = plan_query(profile, stats, cost_config)
+
+        # Untimed warm-up of both routes: the first solve against a target
+        # builds the lazy per-pattern hash-index tables, so whichever
+        # route ran first would otherwise pay that cost alone and bias
+        # the win rate.
+        solve_with_degree(pattern, target, threshold_plan.degree, profile)
+        solve_with_degree(pattern, target, cost_plan.degree, profile)
+
+        start = time.perf_counter()
+        threshold_result = solve_with_degree(pattern, target, threshold_plan.degree, profile)
+        threshold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        cost_result = solve_with_degree(pattern, target, cost_plan.degree, profile)
+        cost_seconds = time.perf_counter() - start
+
+        assert threshold_result.answer == cost_result.answer, str(query)
+        threshold_total += threshold_seconds
+        cost_total += cost_seconds
+        if threshold_plan.degree is cost_plan.degree:
+            agreements += 1
+            wins += 1
+        elif cost_seconds <= threshold_seconds:
+            wins += 1
+    return {
+        "sample": len(sample),
+        "route_agreements": agreements,
+        "planner_wins": wins,
+        "win_rate": round(wins / len(sample), 3),
+        "threshold_seconds_total": round(threshold_total, 4),
+        "cost_seconds_total": round(cost_total, 4),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smaller batches, no hard speedup requirement",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=default_workers(),
+        help="worker processes for the parallel runs (default: min(4, cpus), at least 2)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_eval_service.json",
+        help="where to write the machine-readable report",
+    )
+    args = parser.parse_args()
+
+    scenario_queries = QUICK_SCENARIO_QUERIES if args.quick else FULL_SCENARIO_QUERIES
+    headline_queries = QUICK_HEADLINE_QUERIES if args.quick else FULL_HEADLINE_QUERIES
+    cpu_count = os.cpu_count() or 1
+
+    print(f"EVAL(Φ) execution service benchmark ({cpu_count} CPUs, "
+          f"{args.workers} workers, {'quick' if args.quick else 'full'} mode)")
+
+    scenario_reports = []
+    for name in all_scenario_names():
+        count = scenario_queries
+        report = run_scenario(name, count, args.workers)
+        scenario_reports.append(report)
+        flag = "ok " if report["identical"] else "MISMATCH"
+        print(
+            f"  {name:18s} {report['queries']:4d} queries  "
+            f"seq {report['sequential_seconds']:7.2f}s  "
+            f"par {report['parallel_seconds']:7.2f}s  "
+            f"x{report['speedup']:<6.2f} [{flag}]"
+        )
+
+    headline = run_scenario(HEADLINE_SCENARIO, headline_queries, args.workers)
+    print(
+        f"  headline ({HEADLINE_SCENARIO}, {headline['queries']} queries): "
+        f"seq {headline['sequential_seconds']:.2f}s  "
+        f"par {headline['parallel_seconds']:.2f}s  "
+        f"speedup x{headline['speedup']:.2f}"
+    )
+
+    planner = run_planner_comparison(headline_queries)
+    print(
+        f"  planner vs threshold: win rate {planner['win_rate']:.0%} "
+        f"({planner['planner_wins']}/{planner['sample']}, "
+        f"{planner['route_agreements']} route agreements)"
+    )
+
+    report = {
+        "benchmark": "eval_service",
+        "quick": args.quick,
+        "cpu_count": cpu_count,
+        "workers": args.workers,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "scenarios": scenario_reports,
+        "headline": headline,
+        "planner": planner,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"  report written to {args.output}")
+
+    if not all(r["identical"] for r in scenario_reports + [headline]):
+        print("FAIL: parallel results differ from the sequential reference")
+        return 1
+    if cpu_count < 2:
+        print(
+            f"NOTE: only {cpu_count} CPU visible — parallel speedup is not "
+            f"measurable here; correctness checks all passed"
+        )
+        return 0
+    if not args.quick and headline["speedup"] < REQUIRED_SPEEDUP:
+        print(
+            f"FAIL: headline speedup x{headline['speedup']:.2f} is below the "
+            f"required x{REQUIRED_SPEEDUP:.1f}"
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,13 +11,20 @@ Run with::
 """
 
 from repro.classification import classify_family
-from repro.workloads import EXPECTED_DEGREES, all_family_names, family_by_name
+from repro.workloads import EXPECTED_DEGREES, family_by_name
 
+#: Families classified by the script, with how many members to sample.
+#: The scenario-scale families (``long_odd_cycles``, ``expanders``) are
+#: deliberately absent: they are sized as execution-service load, and
+#: exact core computation on their larger members is infeasible with the
+#: current core algorithm (see the ROADMAP open items).
 SAMPLE_SIZES = {
     "stars": 6,
+    "big_stars": 4,
     "bounded_depth_trees": 5,
     "grids": 4,
     "directed_paths": 8,
+    "long_directed_paths": 3,
     "odd_cycles": 5,
     "starred_caterpillars": 5,
     "starred_paths": 7,
@@ -33,8 +40,8 @@ def main() -> None:
     header = f"{'family':26s} {'degree':16s} {'expected':16s} {'tw / pw / td series'}"
     print(header)
     print("-" * len(header))
-    for name in all_family_names():
-        members = family_by_name(name, SAMPLE_SIZES.get(name, 4))
+    for name in sorted(SAMPLE_SIZES):
+        members = family_by_name(name, SAMPLE_SIZES[name])
         report = classify_family(members)
         series = report.width_series()
         agreement = "OK " if report.degree == EXPECTED_DEGREES[name] else "MISMATCH"

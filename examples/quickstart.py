@@ -66,6 +66,16 @@ def main() -> None:
     for query, result in evaluate_query_set(queries, database):
         print(f"  {query}  →  {result.answer}  [{result.solver}]")
 
+    # The same batch through the execution service: a cost-based plan per
+    # query (estimated from database statistics), and — for big batches —
+    # a chunked process pool via evaluate_query_set(..., workers=N) that
+    # returns byte-identical results in the same order.
+    from repro.eval import EvalService, PlannerConfig
+
+    service = EvalService(database, planner=PlannerConfig(mode="cost"))
+    print("cost-based plan for the triangle query:")
+    print(" ", service.plan(triangle).summary())
+
 
 if __name__ == "__main__":
     main()

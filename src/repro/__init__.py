@@ -24,6 +24,8 @@ This package implements every object and algorithm the paper relies on:
   degree-aware solver dispatcher (the paper's main theorem as an API);
 * :mod:`repro.counting` — the counting classification of Section 6;
 * :mod:`repro.cq` — conjunctive queries, databases, EVAL(Φ);
+* :mod:`repro.eval` — the EVAL(Φ) execution service: database statistics,
+  cost-based planning, and the chunked multi-process executor;
 * :mod:`repro.problems`, :mod:`repro.workloads` — concrete parameterized
   problems and benchmark workloads.
 
@@ -53,11 +55,12 @@ existence and Section-6 counting share one sweep::
 
 Whole query workloads go through the batched evaluator, which caches
 classification profiles and database→structure conversions across the
-queries of the batch::
+queries of the batch, and optionally fans the batch out to a process
+pool with cost-based planning (:mod:`repro.eval`)::
 
     from repro.cq import evaluate_query_set
 
-    for query, result in evaluate_query_set(queries, database):
+    for query, result in evaluate_query_set(queries, database, workers=4):
         print(query, result.answer, result.solver)
 """
 
@@ -72,6 +75,13 @@ from repro.classification import (
 )
 from repro.counting import CountResult, count_hom
 from repro.cq import ConjunctiveQuery, Database, evaluate_query_set, parse_query
+from repro.eval import (
+    DatabaseStatistics,
+    EvalService,
+    ExecutorConfig,
+    PlannerConfig,
+    QueryPlan,
+)
 from repro.homomorphism import (
     BOOLEAN,
     COUNTING,
@@ -115,4 +125,9 @@ __all__ = [
     "homomorphism_exists_join",
     "count_homomorphisms_join",
     "evaluate_query_set",
+    "EvalService",
+    "ExecutorConfig",
+    "PlannerConfig",
+    "QueryPlan",
+    "DatabaseStatistics",
 ]

@@ -15,12 +15,15 @@ from repro.classification.classifier import (
 )
 from repro.classification.degrees import ComplexityDegree, degree_from_width_bounds
 from repro.classification.solver_dispatch import (
+    DEFAULT_PLANNER_CONFIG,
     PATHWIDTH_THRESHOLD,
     TREEDEPTH_THRESHOLD,
     TREEWIDTH_THRESHOLD,
+    PlannerConfig,
     SolveResult,
     choose_degree,
     solve_hom,
+    solve_with_degree,
 )
 
 __all__ = [
@@ -33,7 +36,10 @@ __all__ = [
     "classify_with_bounds",
     "looks_bounded",
     "SolveResult",
+    "PlannerConfig",
+    "DEFAULT_PLANNER_CONFIG",
     "solve_hom",
+    "solve_with_degree",
     "choose_degree",
     "TREEDEPTH_THRESHOLD",
     "PATHWIDTH_THRESHOLD",

@@ -32,51 +32,114 @@ from repro.homomorphism.join_engine import BOOLEAN, run_decomposition_dp, run_pa
 from repro.homomorphism.treedepth_solver import TreeDepthSolver
 from repro.structures.structure import Structure
 
-#: Width thresholds used to pick a solver for a *single* structure.  For a
-#: single structure every measure is trivially "bounded"; the thresholds
-#: express which algorithm is worthwhile, mirroring how a class-level bound
-#: would be used.
+#: Default width thresholds used to pick a solver for a *single* structure.
+#: For a single structure every measure is trivially "bounded"; the
+#: thresholds express which algorithm is worthwhile, mirroring how a
+#: class-level bound would be used.  They are the defaults of
+#: :class:`PlannerConfig`; kept as module constants for backwards
+#: compatibility.
 TREEDEPTH_THRESHOLD = 4
 PATHWIDTH_THRESHOLD = 3
 TREEWIDTH_THRESHOLD = 4
 
 
+@dataclass(frozen=True)
+class PlannerConfig:
+    """How to pick a solver route for a query structure.
+
+    ``mode="threshold"`` reproduces the historical dispatch: compare the
+    core widths against the three thresholds (the family-level bounds a
+    single structure stands in for).  ``mode="cost"`` asks the cost-based
+    planner of :mod:`repro.eval.planner` to estimate the work of every
+    route from database statistics and pick the cheapest; the threshold
+    fields then act as the tie-break precedence, not as a gate.  The cost
+    weights calibrate the per-route models against each other (they are
+    multiplicative fudge factors on the estimated number of elementary
+    extension steps).
+    """
+
+    treedepth_threshold: int = TREEDEPTH_THRESHOLD
+    pathwidth_threshold: int = PATHWIDTH_THRESHOLD
+    treewidth_threshold: int = TREEWIDTH_THRESHOLD
+    mode: str = "threshold"
+    #: Multiplicative weights of the per-route cost models (see
+    #: :func:`repro.eval.planner.plan_query`).  The decomposition engines
+    #: pay index-build and table bookkeeping overhead per bag, the
+    #: treedepth recursion and the backtracking solver run leaner loops.
+    treedepth_cost_weight: float = 1.0
+    path_cost_weight: float = 2.0
+    tree_cost_weight: float = 3.0
+    backtracking_cost_weight: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("threshold", "cost"):
+            raise ValueError(f"unknown planner mode {self.mode!r}")
+
+
+#: The configuration the library uses when the caller supplies none —
+#: byte-identical to the historical threshold dispatch.
+DEFAULT_PLANNER_CONFIG = PlannerConfig()
+
+
 @dataclass
 class SolveResult:
-    """Answer plus provenance of a dispatched homomorphism query."""
+    """Answer plus provenance of a dispatched homomorphism query.
+
+    ``degree`` records the *route taken* — which of the four solver
+    machineries ran.  Under the default threshold dispatch this equals
+    the Theorem 3.1 classification of the query, but a cost-mode planner
+    may force a different route (e.g. backtracking on a para-L query
+    because the database is tiny); use :meth:`classification` for the
+    width-derived degree regardless of routing.
+    """
 
     answer: bool
     solver: str
     degree: ComplexityDegree
     profile: StructureProfile
 
+    def classification(
+        self, config: Optional[PlannerConfig] = None
+    ) -> ComplexityDegree:
+        """The threshold classification of the query's core widths."""
+        return choose_degree(self.profile, config)
 
-def choose_degree(profile: StructureProfile) -> ComplexityDegree:
+
+def choose_degree(
+    profile: StructureProfile, config: Optional[PlannerConfig] = None
+) -> ComplexityDegree:
     """Map a single structure's core profile to the degree its *family* would have.
 
-    A single structure always has bounded widths; the thresholds stand in
-    for the family-level bounds (e.g. "the core tree depth stays below
-    :data:`TREEDEPTH_THRESHOLD` across the family").
+    A single structure always has bounded widths; the (configurable)
+    thresholds stand in for the family-level bounds (e.g. "the core tree
+    depth stays below ``config.treedepth_threshold`` across the family").
     """
-    if profile.core_treewidth > TREEWIDTH_THRESHOLD:
+    if config is None:
+        config = DEFAULT_PLANNER_CONFIG
+    if profile.core_treewidth > config.treewidth_threshold:
         return ComplexityDegree.W1_HARD
-    if profile.core_pathwidth > PATHWIDTH_THRESHOLD:
+    if profile.core_pathwidth > config.pathwidth_threshold:
         return ComplexityDegree.TREE_COMPLETE
-    if profile.core_treedepth > TREEDEPTH_THRESHOLD:
+    if profile.core_treedepth > config.treedepth_threshold:
         return ComplexityDegree.PATH_COMPLETE
     return ComplexityDegree.PARA_L
 
 
-def solve_hom(
+def solve_with_degree(
     pattern: Structure,
     target: Structure,
-    profile: Optional[StructureProfile] = None,
+    degree: ComplexityDegree,
+    profile: StructureProfile,
     use_core: bool = True,
 ) -> SolveResult:
-    """Decide ``hom(pattern → target)`` with the degree-appropriate algorithm."""
-    if profile is None:
-        profile = classify_structure(pattern)
-    degree = choose_degree(profile)
+    """Decide ``hom(pattern → target)`` along an already-chosen route.
+
+    Every route is correct for every structure (a decomposition of some
+    width always exists); the degree only selects which machinery runs.
+    This is the dispatch body of :func:`solve_hom`, exposed so the
+    cost-based planner of :mod:`repro.eval` can force a route while
+    reporting the same provenance strings.
+    """
     effective = profile.core if use_core else pattern
 
     if degree is ComplexityDegree.PARA_L:
@@ -94,3 +157,17 @@ def solve_hom(
         answer = has_homomorphism(effective, target)
         solver = "generic backtracking (W[1]-hard regime)"
     return SolveResult(answer=answer, solver=solver, degree=degree, profile=profile)
+
+
+def solve_hom(
+    pattern: Structure,
+    target: Structure,
+    profile: Optional[StructureProfile] = None,
+    use_core: bool = True,
+    config: Optional[PlannerConfig] = None,
+) -> SolveResult:
+    """Decide ``hom(pattern → target)`` with the degree-appropriate algorithm."""
+    if profile is None:
+        profile = classify_structure(pattern)
+    degree = choose_degree(profile, config)
+    return solve_with_degree(pattern, target, degree, profile, use_core=use_core)

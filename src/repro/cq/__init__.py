@@ -1,7 +1,12 @@
 """Conjunctive queries and databases (the paper's framing problem EVAL(Φ))."""
 
 from repro.cq.database import Database
-from repro.cq.evaluation import evaluate_query_set, classify_query_set
+from repro.cq.evaluation import (
+    classify_query_set,
+    evaluate_query_set,
+    evaluate_query_set_sequential,
+    evaluate_query_set_stream,
+)
 from repro.cq.parser import parse_query
 from repro.cq.query import ConjunctiveQuery, QueryAtom
 
@@ -11,5 +16,7 @@ __all__ = [
     "Database",
     "parse_query",
     "evaluate_query_set",
+    "evaluate_query_set_sequential",
+    "evaluate_query_set_stream",
     "classify_query_set",
 ]

@@ -14,12 +14,19 @@ across calls, via a bounded module-level cache) it reuses
 * the database→structure conversion per distinct vocabulary — queries
   over the same schema share one target structure, which also lets the
   join engine reuse its per-target hash indexes.
+
+Evaluation routes through the :mod:`repro.eval` execution service:
+``workers`` fans a batch out to a chunked process pool with deterministic
+result ordering, and ``planner`` swaps the historical threshold dispatch
+for a cost-based plan.  With neither argument the call takes
+:func:`evaluate_query_set_sequential`, the in-process reference path the
+service (and its tests) are measured against.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.classification.classifier import (
     ClassificationReport,
@@ -27,11 +34,14 @@ from repro.classification.classifier import (
     classify_family,
     classify_structure,
 )
-from repro.classification.solver_dispatch import SolveResult, solve_hom
+from repro.classification.solver_dispatch import PlannerConfig, SolveResult, solve_hom
 from repro.cq.database import Database
 from repro.cq.query import ConjunctiveQuery
 from repro.structures.structure import Structure
 from repro.structures.vocabulary import Vocabulary
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, types only
+    from repro.eval.executor import ExecutorConfig
 
 #: Bounded LRU cache of classification profiles, keyed by the (immutable,
 #: hashable) canonical structure.  Classification dominates repeated
@@ -62,6 +72,9 @@ def evaluate_query_set(
     queries: Sequence[ConjunctiveQuery],
     database: Database | Structure,
     use_cache: bool = True,
+    workers: Optional[int] = None,
+    planner: Optional[PlannerConfig] = None,
+    executor: "Optional[ExecutorConfig]" = None,
 ) -> List[Tuple[ConjunctiveQuery, SolveResult]]:
     """Evaluate every query of a set on a database with degree-aware solving.
 
@@ -71,6 +84,63 @@ def evaluate_query_set(
     distinct canonical structure and one database→structure conversion per
     distinct vocabulary.  ``use_cache=False`` additionally bypasses the
     cross-call profile cache (each batch still deduplicates internally).
+
+    ``workers`` (or an explicit ``executor`` config) routes the batch
+    through the :class:`repro.eval.EvalService` process pool; ``planner``
+    swaps in a different :class:`~repro.classification.solver_dispatch.PlannerConfig`
+    (e.g. cost mode).  The parallel path returns the same ordered list of
+    ``(query, answer, solver)`` results as the sequential reference.
+    """
+    if workers is None and planner is None and executor is None:
+        return evaluate_query_set_sequential(queries, database, use_cache)
+    from repro.eval.executor import EvalService, ExecutorConfig
+
+    if executor is None:
+        # A bare planner= argument changes the planning mode only — it
+        # must not silently fork one worker per CPU.
+        executor = ExecutorConfig(workers=1 if workers is None else workers)
+    elif workers is not None and executor.workers != workers:
+        raise ValueError("pass either workers or an executor config, not both")
+    with EvalService(database, planner=planner, executor=executor) as service:
+        return service.evaluate(queries, use_cache=use_cache)
+
+
+def evaluate_query_set_stream(
+    queries: Iterable[ConjunctiveQuery],
+    database: Database | Structure,
+    use_cache: bool = True,
+    workers: Optional[int] = None,
+    planner: Optional[PlannerConfig] = None,
+    executor: "Optional[ExecutorConfig]" = None,
+) -> Iterator[Tuple[ConjunctiveQuery, SolveResult]]:
+    """Stream ``(query, SolveResult)`` pairs in input order.
+
+    The lazy sibling of :func:`evaluate_query_set`: accepts an arbitrary
+    query iterable and never materialises the whole result list, so
+    EVAL(Φ) runs over million-query workloads in bounded memory.  The
+    worker pool (if any) is shut down when the iterator is exhausted or
+    closed.
+    """
+    from repro.eval.executor import EvalService, ExecutorConfig
+
+    if executor is None:
+        executor = ExecutorConfig(workers=1 if workers is None else workers)
+    elif workers is not None and executor.workers != workers:
+        raise ValueError("pass either workers or an executor config, not both")
+    with EvalService(database, planner=planner, executor=executor) as service:
+        yield from service.evaluate_stream(queries, use_cache=use_cache)
+
+
+def evaluate_query_set_sequential(
+    queries: Sequence[ConjunctiveQuery],
+    database: Database | Structure,
+    use_cache: bool = True,
+) -> List[Tuple[ConjunctiveQuery, SolveResult]]:
+    """The in-process reference evaluator (historical ``evaluate_query_set``).
+
+    Kept verbatim as the fallback and as the ground truth the execution
+    service is differentially tested against: the service's sequential and
+    parallel paths must reproduce this function's output exactly.
     """
     results: List[Tuple[ConjunctiveQuery, SolveResult]] = []
     targets: Dict[Vocabulary, Structure] = {}

@@ -47,9 +47,13 @@ def parse_query(text: str) -> ConjunctiveQuery:
     consumed_spans: List[Tuple[int, int]] = []
     for match in _ATOM_PATTERN.finditer(body):
         relation, arguments = match.groups()
-        variables = [token.strip() for token in arguments.split(",") if token.strip()]
-        if not variables:
+        variables = [token.strip() for token in arguments.split(",")]
+        if variables == [""]:
             raise FormulaError(f"atom {relation!r} has no arguments")
+        if any(not token for token in variables):
+            # A dangling or doubled comma silently changed the atom's
+            # arity before; reject it instead (found by the fuzz harness).
+            raise FormulaError(f"atom {relation!r} has an empty argument")
         for variable in variables:
             if not _NAME_PATTERN.match(variable):
                 raise FormulaError(f"bad variable name {variable!r}")

@@ -1,0 +1,339 @@
+"""The EVAL(Φ) execution service: planned, chunked, parallel evaluation.
+
+:class:`EvalService` turns the one-shot helpers of :mod:`repro.cq` into a
+service able to chew through very large query batches:
+
+* **planning** — every query is routed through
+  :func:`repro.eval.planner.plan_query` under a pluggable
+  :class:`~repro.classification.solver_dispatch.PlannerConfig`; the
+  default (threshold mode) reproduces the historical dispatch exactly, so
+  answers, solver strings and profiles are byte-identical to the
+  sequential reference path.
+* **parallelism** — batches are cut into contiguous chunks and fanned out
+  to a ``concurrent.futures.ProcessPoolExecutor``.  Work units are plain
+  picklable query tuples; each worker process receives the database once
+  (at pool initialisation) and keeps its own per-vocabulary target
+  structures, database statistics and classification-profile cache, so a
+  chunk never re-ships or re-derives the database side.
+* **determinism** — chunks are indexed at submission and results are
+  yielded strictly in submission order, so the output of the parallel
+  path is the same *list* the sequential path produces, regardless of
+  worker scheduling.
+* **streaming** — :meth:`EvalService.evaluate_stream` accepts an
+  arbitrary query iterable, keeps only a bounded window of chunks in
+  flight, and yields ``(query, SolveResult)`` pairs as they are reached;
+  million-query batches never materialise all results at once.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.classification.classifier import StructureProfile, classify_structure
+from repro.classification.solver_dispatch import (
+    DEFAULT_PLANNER_CONFIG,
+    PlannerConfig,
+    SolveResult,
+    solve_with_degree,
+)
+from repro.cq.database import Database
+from repro.cq.query import ConjunctiveQuery
+from repro.eval.planner import QueryPlan, plan_query
+from repro.eval.stats import DatabaseStatistics
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+DatabaseLike = Union[Database, Structure]
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Degrees of freedom of the parallel executor.
+
+    ``workers=None`` asks for one worker per CPU; ``workers<=1`` keeps
+    everything in-process (the sequential reference behaviour).  Batches
+    shorter than ``min_parallel_batch`` stay in-process too — pool
+    start-up costs more than a handful of queries.  ``inflight_factor``
+    bounds the submission window to ``workers · inflight_factor`` chunks,
+    which is what keeps streaming over huge batches memory-bounded.
+    """
+
+    workers: Optional[int] = None
+    chunk_size: int = 16
+    min_parallel_batch: int = 32
+    inflight_factor: int = 4
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 0:
+            raise ValueError("workers must be None or non-negative")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        if self.inflight_factor < 1:
+            raise ValueError("inflight_factor must be at least 1")
+
+    def effective_workers(self) -> int:
+        """The worker count after resolving ``None`` against the CPU count."""
+        if self.workers is None:
+            return os.cpu_count() or 1
+        return max(1, self.workers)
+
+
+class _EvaluationContext:
+    """Per-process evaluation state shared across the queries it sees.
+
+    One context lives in the parent for sequential evaluation (fresh per
+    batch, mirroring the reference path) and one in every worker process
+    for the lifetime of the pool.  It memoises the database→structure
+    conversion and the database statistics per vocabulary, and the
+    classification profile per canonical structure — the two sharing
+    levers that make batched EVAL(Φ) cheap.
+    """
+
+    def __init__(
+        self,
+        database: DatabaseLike,
+        config: PlannerConfig,
+        use_cache: bool,
+    ) -> None:
+        self.database = database
+        self.config = config
+        self.use_cache = use_cache
+        self.targets: Dict[Vocabulary, Structure] = {}
+        self.stats: Dict[Vocabulary, DatabaseStatistics] = {}
+        self.local_profiles: Dict[Structure, StructureProfile] = {}
+
+    def target_for(self, vocabulary: Vocabulary) -> Structure:
+        target = self.targets.get(vocabulary)
+        if target is None:
+            target = (
+                self.database.to_structure(vocabulary)
+                if isinstance(self.database, Database)
+                else self.database
+            )
+            self.targets[vocabulary] = target
+        return target
+
+    def stats_for(self, vocabulary: Vocabulary) -> DatabaseStatistics:
+        stats = self.stats.get(vocabulary)
+        if stats is None:
+            stats = DatabaseStatistics.of(self.target_for(vocabulary))
+            self.stats[vocabulary] = stats
+        return stats
+
+    def profile_for(self, pattern: Structure) -> StructureProfile:
+        if self.use_cache:
+            # The bounded cross-call LRU owned by repro.cq.evaluation;
+            # imported lazily to keep the import graph acyclic.
+            from repro.cq.evaluation import _cached_profile
+
+            return _cached_profile(pattern)
+        profile = self.local_profiles.get(pattern)
+        if profile is None:
+            profile = classify_structure(pattern)
+            self.local_profiles[pattern] = profile
+        return profile
+
+    def plan(self, query: ConjunctiveQuery) -> QueryPlan:
+        profile = self.profile_for(query.canonical_structure())
+        stats = (
+            self.stats_for(query.vocabulary())
+            if self.config.mode == "cost"
+            else None
+        )
+        return plan_query(profile, stats, self.config)
+
+    def solve(self, query: ConjunctiveQuery) -> SolveResult:
+        pattern = query.canonical_structure()
+        target = self.target_for(query.vocabulary())
+        profile = self.profile_for(pattern)
+        stats = (
+            self.stats_for(query.vocabulary())
+            if self.config.mode == "cost"
+            else None
+        )
+        plan = plan_query(profile, stats, self.config)
+        return solve_with_degree(pattern, target, plan.degree, profile)
+
+
+#: The worker-process context, installed by :func:`_initialize_worker` at
+#: pool start-up and reused by every chunk the worker runs.
+_WORKER_CONTEXT: Optional[_EvaluationContext] = None
+
+
+def _initialize_worker(
+    database: DatabaseLike, config: PlannerConfig, use_cache: bool
+) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = _EvaluationContext(database, config, use_cache)
+
+
+def _evaluate_chunk(queries: Tuple[ConjunctiveQuery, ...]) -> List[SolveResult]:
+    """The picklable work unit: evaluate one chunk in the worker's context."""
+    if _WORKER_CONTEXT is None:  # pragma: no cover — initializer always ran
+        raise RuntimeError("worker used before initialisation")
+    return [_WORKER_CONTEXT.solve(query) for query in queries]
+
+
+def _chunks(
+    queries: Iterable[ConjunctiveQuery], size: int
+) -> Iterator[Tuple[ConjunctiveQuery, ...]]:
+    chunk: List[ConjunctiveQuery] = []
+    for query in queries:
+        chunk.append(query)
+        if len(chunk) == size:
+            yield tuple(chunk)
+            chunk = []
+    if chunk:
+        yield tuple(chunk)
+
+
+class EvalService:
+    """A reusable EVAL(Φ) evaluator bound to one database.
+
+    The service owns (lazily) a worker pool whose processes hold the
+    database, so repeated :meth:`evaluate` calls amortise both the pool
+    start-up and the per-vocabulary target/index builds.  Use it as a
+    context manager, or call :meth:`close` when done; with ``workers<=1``
+    no pool is ever created and everything runs in-process.
+    """
+
+    def __init__(
+        self,
+        database: DatabaseLike,
+        planner: Optional[PlannerConfig] = None,
+        executor: Optional[ExecutorConfig] = None,
+    ) -> None:
+        self._database = database
+        self._planner = planner if planner is not None else DEFAULT_PLANNER_CONFIG
+        self._executor = executor if executor is not None else ExecutorConfig()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_use_cache: Optional[bool] = None
+        #: Parent-side contexts for plan()/statistics(), keyed by the
+        #: use_cache flag — kept so repeated introspection amortises the
+        #: database→structure conversions and statistics like a batch does.
+        self._introspection: Dict[bool, _EvaluationContext] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (if one was created)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_use_cache = None
+
+    def __enter__(self) -> "EvalService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def planner(self) -> PlannerConfig:
+        """The planner configuration the service evaluates under."""
+        return self._planner
+
+    @property
+    def executor(self) -> ExecutorConfig:
+        """The executor configuration the service evaluates under."""
+        return self._executor
+
+    def _introspection_context(self, use_cache: bool) -> _EvaluationContext:
+        context = self._introspection.get(use_cache)
+        if context is None:
+            context = _EvaluationContext(self._database, self._planner, use_cache)
+            self._introspection[use_cache] = context
+        return context
+
+    def plan(self, query: ConjunctiveQuery, use_cache: bool = True) -> QueryPlan:
+        """Return the plan (without solving) the service would use for a query."""
+        return self._introspection_context(use_cache).plan(query)
+
+    def statistics(self, query: ConjunctiveQuery) -> DatabaseStatistics:
+        """Return the database statistics for a query's vocabulary."""
+        return self._introspection_context(use_cache=True).stats_for(query.vocabulary())
+
+    # -- evaluation ---------------------------------------------------------
+    def evaluate(
+        self,
+        queries: Sequence[ConjunctiveQuery],
+        use_cache: bool = True,
+    ) -> List[Tuple[ConjunctiveQuery, SolveResult]]:
+        """Evaluate a whole batch; the materialised form of the stream.
+
+        Small batches (shorter than the executor's ``min_parallel_batch``)
+        take the in-process path even when workers are configured.
+        """
+        workers = self._executor.effective_workers()
+        if workers > 1 and len(queries) < self._executor.min_parallel_batch:
+            return list(self._evaluate_sequential(queries, use_cache))
+        return list(self.evaluate_stream(queries, use_cache=use_cache))
+
+    def evaluate_stream(
+        self,
+        queries: Iterable[ConjunctiveQuery],
+        use_cache: bool = True,
+    ) -> Iterator[Tuple[ConjunctiveQuery, SolveResult]]:
+        """Yield ``(query, SolveResult)`` pairs in input order.
+
+        The input may be an arbitrary (even unbounded) iterable; at most
+        ``workers · inflight_factor`` chunks are in flight at any moment,
+        so memory stays proportional to the window, not the batch.
+        """
+        if self._executor.effective_workers() <= 1:
+            yield from self._evaluate_sequential(queries, use_cache)
+            return
+        yield from self._evaluate_parallel(queries, use_cache)
+
+    # -- the two paths ------------------------------------------------------
+    def _evaluate_sequential(
+        self, queries: Iterable[ConjunctiveQuery], use_cache: bool
+    ) -> Iterator[Tuple[ConjunctiveQuery, SolveResult]]:
+        # A fresh context per batch mirrors the reference path: targets are
+        # shared within the batch, profiles within the batch and (when
+        # caching) across calls through the bounded LRU.
+        context = _EvaluationContext(self._database, self._planner, use_cache)
+        for query in queries:
+            yield query, context.solve(query)
+
+    def _evaluate_parallel(
+        self, queries: Iterable[ConjunctiveQuery], use_cache: bool
+    ) -> Iterator[Tuple[ConjunctiveQuery, SolveResult]]:
+        pool = self._ensure_pool(use_cache)
+        window = self._executor.effective_workers() * self._executor.inflight_factor
+        chunk_iterator = _chunks(queries, self._executor.chunk_size)
+        pending: Dict[int, Future] = {}
+        submitted: Dict[int, Tuple[ConjunctiveQuery, ...]] = {}
+        next_submit = 0
+        next_yield = 0
+        exhausted = False
+        while True:
+            while not exhausted and len(pending) < window:
+                chunk = next(chunk_iterator, None)
+                if chunk is None:
+                    exhausted = True
+                    break
+                submitted[next_submit] = chunk
+                pending[next_submit] = pool.submit(_evaluate_chunk, chunk)
+                next_submit += 1
+            if next_yield not in pending:
+                break
+            results = pending.pop(next_yield).result()
+            chunk = submitted.pop(next_yield)
+            next_yield += 1
+            yield from zip(chunk, results)
+
+    def _ensure_pool(self, use_cache: bool) -> ProcessPoolExecutor:
+        if self._pool is not None and self._pool_use_cache != use_cache:
+            self.close()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._executor.effective_workers(),
+                initializer=_initialize_worker,
+                initargs=(self._database, self._planner, use_cache),
+            )
+            self._pool_use_cache = use_cache
+        return self._pool

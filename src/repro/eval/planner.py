@@ -1,0 +1,147 @@
+"""Cost-based query planning for EVAL(Φ).
+
+The historical dispatch (:func:`repro.classification.solver_dispatch.choose_degree`)
+picks a solver from the core widths alone, through fixed thresholds.  That
+ignores the database entirely: a width-2 pattern against a 10-element
+database and against a 10-million-row skewed table get the same plan.
+
+This module adds the database side.  Every route is *correct* for every
+pattern (a decomposition of some width always exists; the degree only
+selects machinery), so planning is purely a cost decision:
+
+========================  =======================================================
+route                     cost model (elementary extension steps)
+========================  =======================================================
+treedepth recursion       ``k · n · b^(td−1)``  — one branch per level of the
+                          elimination forest, ``b`` candidates per branch
+path sweep                ``k · n · b^pw``      — ``k`` bags, table of at most
+                          ``n · b^pw`` weighted assignments per bag
+tree-decomposition DP     ``k · n · b^tw``      — same shape, tree-structured
+                          joins cost more bookkeeping per bag
+backtracking              ``n · b^(k−1)``       — one candidate set for the
+                          first variable, ``b`` extensions for each further one
+========================  =======================================================
+
+where ``k`` is the core size, ``n`` the database universe, ``b`` the
+effective branching factor ``min(n, fan-out)`` measured by
+:class:`~repro.eval.stats.DatabaseStatistics`, and ``td/pw/tw`` the core
+widths.  The :class:`~repro.classification.solver_dispatch.PlannerConfig`
+weights calibrate the four models against each other.
+
+``mode="threshold"`` (the default) reproduces the historical dispatch
+exactly — the planner then only *annotates* the choice with estimates —
+so results stay byte-identical with the reference path.  ``mode="cost"``
+picks the cheapest estimate, breaking ties towards the lighter machinery
+(PARA_L < PATH < TREE < W[1]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.classification.classifier import StructureProfile
+from repro.classification.degrees import ComplexityDegree
+from repro.classification.solver_dispatch import (
+    DEFAULT_PLANNER_CONFIG,
+    PlannerConfig,
+    choose_degree,
+)
+from repro.eval.stats import DatabaseStatistics
+
+#: Estimates are capped here so exponent arithmetic never overflows and
+#: comparisons between hopeless routes stay well defined.
+COST_CAP = 1e30
+
+#: Tie-break precedence of the routes: lighter machinery first.
+_ROUTE_PRECEDENCE = (
+    ComplexityDegree.PARA_L,
+    ComplexityDegree.PATH_COMPLETE,
+    ComplexityDegree.TREE_COMPLETE,
+    ComplexityDegree.W1_HARD,
+)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The planner's verdict for one (pattern, database) pair."""
+
+    degree: ComplexityDegree
+    cost: float
+    estimates: Dict[ComplexityDegree, float]
+    mode: str
+
+    def summary(self) -> str:
+        """Return a one-line human-readable account of the plan."""
+        ranked = sorted(self.estimates.items(), key=lambda item: item[1])
+        listing = ", ".join(f"{degree.value}≈{cost:.3g}" for degree, cost in ranked)
+        return f"route {self.degree.value} ({self.mode} mode; estimates: {listing})"
+
+
+def _powcost(weight: float, prefactor: float, base: float, exponent: int) -> float:
+    """Return ``weight · prefactor · base^exponent`` capped at :data:`COST_CAP`."""
+    if prefactor <= 0:
+        return 0.0
+    base = max(1.0, base)
+    exponent = max(0, exponent)
+    log_cost = math.log(prefactor) + exponent * math.log(base)
+    if log_cost >= math.log(COST_CAP):
+        return COST_CAP
+    return min(COST_CAP, weight * math.exp(log_cost))
+
+
+def estimate_route_costs(
+    profile: StructureProfile,
+    stats: DatabaseStatistics,
+    config: PlannerConfig = DEFAULT_PLANNER_CONFIG,
+) -> Dict[ComplexityDegree, float]:
+    """Return the estimated cost of every route (see the module docstring)."""
+    k = max(1, profile.core_size)
+    n = max(1, stats.universe_size)
+    branching = max(1.0, min(float(n), stats.mean_fan_out))
+    return {
+        ComplexityDegree.PARA_L: _powcost(
+            config.treedepth_cost_weight, k * n, branching, profile.core_treedepth - 1
+        ),
+        ComplexityDegree.PATH_COMPLETE: _powcost(
+            config.path_cost_weight, k * n, branching, profile.core_pathwidth
+        ),
+        ComplexityDegree.TREE_COMPLETE: _powcost(
+            config.tree_cost_weight, k * n, branching, profile.core_treewidth
+        ),
+        ComplexityDegree.W1_HARD: _powcost(
+            config.backtracking_cost_weight, n, branching, k - 1
+        ),
+    }
+
+
+def plan_query(
+    profile: StructureProfile,
+    stats: Optional[DatabaseStatistics] = None,
+    config: PlannerConfig = DEFAULT_PLANNER_CONFIG,
+) -> QueryPlan:
+    """Plan one query: pick a route and report the per-route estimates.
+
+    With ``config.mode == "threshold"`` (or when no statistics are
+    available) the route is the historical threshold choice and the
+    estimates are advisory.  With ``config.mode == "cost"`` the cheapest
+    estimate wins, ties broken towards the lighter machinery.
+    """
+    if stats is None:
+        estimates: Dict[ComplexityDegree, float] = {}
+    else:
+        estimates = estimate_route_costs(profile, stats, config)
+    if config.mode == "cost" and estimates:
+        degree = min(
+            _ROUTE_PRECEDENCE,
+            key=lambda route: (estimates[route], _ROUTE_PRECEDENCE.index(route)),
+        )
+    else:
+        degree = choose_degree(profile, config)
+    return QueryPlan(
+        degree=degree,
+        cost=estimates.get(degree, 0.0),
+        estimates=estimates,
+        mode=config.mode,
+    )

@@ -14,6 +14,8 @@ from repro.structures.builders import (
     binary_strings,
     bounded_depth_tree_graph,
     caterpillar_graph,
+    circulant,
+    circulant_graph,
     clique,
     clique_graph,
     complete_binary_tree,
@@ -102,6 +104,8 @@ __all__ = [
     "star",
     "star_graph",
     "caterpillar_graph",
+    "circulant",
+    "circulant_graph",
     "bounded_depth_tree_graph",
     "tree_structure_from_parent",
     "disjoint_union_graph",

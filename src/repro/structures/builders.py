@@ -219,6 +219,35 @@ def clique(k: int) -> Structure:
     return graph_structure(clique_graph(k))
 
 
+def circulant_graph(n: int, offsets: Sequence[int]) -> Graph:
+    """Return the circulant graph ``C_n(offsets)``.
+
+    Vertices are ``0..n-1``; vertex ``i`` is adjacent to ``i ± d (mod n)``
+    for every offset ``d``.  With spread-out offsets (e.g. ``(1, n//3)``)
+    circulants are the standard deterministic stand-in for expanders:
+    vertex-transitive, well-connected, and of treewidth growing with
+    ``n`` — the benchmark workloads use them as "expander" databases and
+    as a hard (W[1]-regime) query family.
+    """
+    if n < 3:
+        raise StructureError("a circulant graph needs at least three vertices")
+    cleaned = sorted({d % n for d in offsets} - {0})
+    if not cleaned:
+        raise StructureError("circulant offsets must be non-zero modulo n")
+    vertices = list(range(n))
+    edges = set()
+    for i in vertices:
+        for d in cleaned:
+            j = (i + d) % n
+            edges.add((min(i, j), max(i, j)))
+    return Graph(vertices, sorted(edges))
+
+
+def circulant(n: int, offsets: Sequence[int] = (1, 2)) -> Structure:
+    """Return the circulant graph ``C_n(offsets)`` as an ``{E}``-structure."""
+    return graph_structure(circulant_graph(n, offsets))
+
+
 def star_graph(leaves: int) -> Graph:
     """Return the star with the given number of leaves (tree depth 2)."""
     if leaves < 0:

@@ -47,6 +47,7 @@ from repro.structures.builders import (
     directed_b_structure,
     bounded_depth_tree_graph,
     caterpillar_graph,
+    circulant,
     clique,
     complete_binary_tree,
     cycle,
@@ -129,6 +130,49 @@ def directed_b_family(count: int) -> List[Structure]:
     return [directed_b_structure(k) for k in range(1, count + 1)]
 
 
+def long_directed_path_family(count: int, start: int = 8, stride: int = 8) -> List[Structure]:
+    """Directed paths with aggressively growing lengths (pw 1, td ≈ log k).
+
+    The same degree as :func:`directed_path_family` but sampled at sizes
+    where the tree depth is well past any fixed threshold — the scenario
+    suite uses these as guaranteed PATH-regime load.
+    """
+    return [directed_path(start + stride * i) for i in range(count)]
+
+
+def long_odd_cycle_family(count: int, start: int = 15, stride: int = 10) -> List[Structure]:
+    """Odd cycles with aggressively growing (odd) lengths (pw 2, td ↑)."""
+    if start % 2 == 0:
+        raise ValueError("start must be odd so every member is an odd cycle")
+    if stride % 2 != 0:
+        raise ValueError("stride must be even so every member stays odd")
+    return [cycle(start + stride * i) for i in range(count)]
+
+
+def expander_family(count: int, start: int = 7) -> List[Structure]:
+    """Circulant "expanders" ``C_n(1, n//3)`` of growing odd order.
+
+    Odd order keeps the base cycle odd (so the graphs are non-bipartite
+    and do not fold onto an edge); the long chord keeps them
+    well-connected, and the treewidth grows with ``n`` — empirically the
+    family lands in the W[1]-hard regime like cliques and starred grids.
+    """
+    members = []
+    for i in range(count):
+        n = start + 2 * i
+        members.append(circulant(n, (1, max(2, n // 3))))
+    return members
+
+
+def big_star_family(count: int, start: int = 8, stride: int = 8) -> List[Structure]:
+    """Stars with aggressively growing leaf counts (tree depth 2, PARA_L).
+
+    The scenario suite uses these as guaranteed para-L load at sizes
+    where the *structure* is large even though the core is a single edge.
+    """
+    return [star(start + stride * i) for i in range(count)]
+
+
 def grid_family(count: int, start: int = 1) -> List[Structure]:
     """Plain square grids (bipartite, so the cores are single edges — easy)."""
     return [grid(side, side) for side in range(start, start + count)]
@@ -160,6 +204,10 @@ EXPECTED_DEGREES: Dict[str, ComplexityDegree] = {
     "starred_binary_trees": ComplexityDegree.TREE_COMPLETE,
     "starred_grids": ComplexityDegree.W1_HARD,
     "cliques": ComplexityDegree.W1_HARD,
+    "long_directed_paths": ComplexityDegree.PATH_COMPLETE,
+    "long_odd_cycles": ComplexityDegree.PATH_COMPLETE,
+    "big_stars": ComplexityDegree.PARA_L,
+    "expanders": ComplexityDegree.W1_HARD,
 }
 
 
@@ -178,6 +226,10 @@ def family_by_name(name: str, count: int) -> List[Structure]:
         "starred_binary_trees": starred_trees_family,
         "starred_grids": starred_grid_family,
         "cliques": clique_family,
+        "long_directed_paths": long_directed_path_family,
+        "long_odd_cycles": long_odd_cycle_family,
+        "big_stars": big_star_family,
+        "expanders": expander_family,
     }
     if name not in builders:
         raise KeyError(f"unknown family {name!r}; known: {sorted(builders)}")

@@ -1,0 +1,288 @@
+"""Scenario-diverse EVAL(Φ) workloads: query batches paired with databases.
+
+The execution service (:mod:`repro.eval`), the differential fuzzing
+harness and ``benchmarks/bench_eval_service.py`` all need the same thing:
+named, seeded, scalable *(queries, database)* pairs covering the shapes
+the classification theorem distinguishes.  Each scenario stresses a
+different axis:
+
+=====================  ====================================================
+scenario               what it stresses
+=====================  ====================================================
+``grid_walks``         path/cycle queries on a grid database — low
+                       fan-out, large sparse target
+``expander_mix``       the same queries on a circulant expander — uniform
+                       fan-out everywhere, no small separators
+``long_paths``         long acyclic (path-shaped) queries — PATH-regime
+                       load with deep, narrow patterns
+``stars_skewed``       star queries on a Zipf-skewed database — the
+                       fan-out statistic diverges from the uniform guess
+``cycles_dense``       odd-cycle queries on a dense database — high
+                       fan-out joins, W[1]-regime patterns mixed in
+``acyclic_random``     random tree-shaped (acyclic) queries — guaranteed
+                       easy cores, exercises the treedepth route
+``mixed_vocabulary``   random queries over five tables and three distinct
+                       vocabularies — per-vocabulary target/index sharing
+=====================  ====================================================
+
+All randomness flows through an explicit ``random.Random(seed)``; the
+same name, count and seed always produce the identical scenario.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.cq.database import Database
+from repro.cq.query import ConjunctiveQuery, QueryAtom
+from repro.workloads.targets import (
+    dense_graph_database,
+    expander_database,
+    grid_database,
+    mixed_vocabulary_database,
+    skewed_database,
+)
+
+
+@dataclass(frozen=True)
+class EvalScenario:
+    """A named EVAL(Φ) workload: a query batch and the database to run it on."""
+
+    name: str
+    description: str
+    queries: Tuple[ConjunctiveQuery, ...]
+    database: Database
+
+
+# ---------------------------------------------------------------------------
+# query generators
+# ---------------------------------------------------------------------------
+
+def _variables(count: int) -> List[str]:
+    return [f"v{i}" for i in range(count)]
+
+
+def path_query(length: int) -> ConjunctiveQuery:
+    """The query "is there a directed walk of ``length`` edges?"."""
+    names = _variables(length + 1)
+    atoms = [QueryAtom("E", (names[i], names[i + 1])) for i in range(length)]
+    return ConjunctiveQuery(atoms)
+
+
+def cycle_query(length: int) -> ConjunctiveQuery:
+    """The query "is there a closed walk of ``length`` edges?"."""
+    names = _variables(length)
+    atoms = [
+        QueryAtom("E", (names[i], names[(i + 1) % length])) for i in range(length)
+    ]
+    return ConjunctiveQuery(atoms)
+
+
+def star_query(leaves: int) -> ConjunctiveQuery:
+    """The query "is there an element with ``leaves`` out-neighbours?"."""
+    names = _variables(leaves + 1)
+    atoms = [QueryAtom("E", (names[0], names[i + 1])) for i in range(leaves)]
+    return ConjunctiveQuery(atoms)
+
+
+def clique_query(size: int) -> ConjunctiveQuery:
+    """The query "is there a (symmetric) ``size``-clique?".
+
+    The canonical structure is ``K_size``, which is its own core: sizes 5
+    and 6 land in the TREE and W[1] regimes under the default thresholds,
+    so these queries light up the heavy solver routes.
+    """
+    names = _variables(size)
+    atoms = []
+    for i in range(size):
+        for j in range(size):
+            if i != j:
+                atoms.append(QueryAtom("E", (names[i], names[j])))
+    return ConjunctiveQuery(atoms)
+
+
+def random_acyclic_query(
+    rng: random.Random, variables: int, relation: str = "E"
+) -> ConjunctiveQuery:
+    """A random tree-shaped (hence acyclic, easy-core) binary query.
+
+    Variable ``i > 0`` is linked to a random earlier variable, with a
+    random edge orientation — the random-parent model on query variables.
+    """
+    names = _variables(max(2, variables))
+    atoms = []
+    for i in range(1, len(names)):
+        parent = names[rng.randrange(0, i)]
+        pair = (parent, names[i]) if rng.random() < 0.5 else (names[i], parent)
+        atoms.append(QueryAtom(relation, pair))
+    return ConjunctiveQuery(atoms)
+
+
+def random_query(
+    rng: random.Random,
+    tables: Dict[str, int],
+    max_atoms: int = 4,
+    max_variables: int = 5,
+) -> ConjunctiveQuery:
+    """A random conjunctive query over a subset of the given tables."""
+    names = _variables(rng.randint(2, max_variables))
+    table_names = sorted(tables)
+    atoms = []
+    for _ in range(rng.randint(1, max_atoms)):
+        table = rng.choice(table_names)
+        arity = max(1, tables[table])
+        atoms.append(
+            QueryAtom(table, tuple(rng.choice(names) for _ in range(arity)))
+        )
+    return ConjunctiveQuery(atoms)
+
+
+# ---------------------------------------------------------------------------
+# scenario builders
+# ---------------------------------------------------------------------------
+
+def _shape_pool(rng: random.Random, count: int, shapes: Sequence[Callable[[], ConjunctiveQuery]]) -> Tuple[ConjunctiveQuery, ...]:
+    return tuple(rng.choice(shapes)() for _ in range(count))
+
+
+def _grid_walks(count: int, seed: int) -> EvalScenario:
+    rng = random.Random(seed)
+    side = 6
+    shapes = [
+        lambda: path_query(rng.randint(1, 4)),
+        lambda: cycle_query(2 * rng.randint(2, 3)),   # even cycles exist in grids
+        lambda: star_query(rng.randint(2, 4)),
+    ]
+    return EvalScenario(
+        "grid_walks",
+        "path/cycle/star queries against a grid database (sparse, low fan-out)",
+        _shape_pool(rng, count, shapes),
+        grid_database(side, side),
+    )
+
+
+def _expander_mix(count: int, seed: int) -> EvalScenario:
+    rng = random.Random(seed)
+    n = 31
+    shapes = [
+        lambda: path_query(rng.randint(1, 4)),
+        lambda: cycle_query(rng.randint(3, 5)),
+        lambda: star_query(rng.randint(2, 4)),
+        lambda: clique_query(rng.randint(4, 6)),
+    ]
+    return EvalScenario(
+        "expander_mix",
+        "the same query shapes against a circulant expander (uniform fan-out)",
+        _shape_pool(rng, count, shapes),
+        expander_database(n, (1, 5, 12)),
+    )
+
+
+def _long_paths(count: int, seed: int) -> EvalScenario:
+    rng = random.Random(seed)
+    return EvalScenario(
+        "long_paths",
+        "long acyclic path queries on a sparse random database (PATH-regime load)",
+        tuple(path_query(rng.randint(5, 17)) for _ in range(count)),
+        dense_graph_database(24, edge_probability=0.12, seed=seed),
+    )
+
+
+def _stars_skewed(count: int, seed: int) -> EvalScenario:
+    rng = random.Random(seed)
+    return EvalScenario(
+        "stars_skewed",
+        "star queries on a Zipf-skewed database (celebrity fan-out)",
+        tuple(star_query(rng.randint(2, 6)) for _ in range(count)),
+        skewed_database(40, rows_per_table=160, skew=1.5, seed=seed),
+    )
+
+
+def _cycles_dense(count: int, seed: int) -> EvalScenario:
+    rng = random.Random(seed)
+    shapes = [
+        lambda: cycle_query(2 * rng.randint(1, 4) + 1),
+        lambda: clique_query(rng.randint(4, 5)),
+        lambda: path_query(rng.randint(12, 16)),
+    ]
+    return EvalScenario(
+        "cycles_dense",
+        "odd-cycle and clique queries on a dense database (all four regimes)",
+        _shape_pool(rng, count, shapes),
+        dense_graph_database(18, edge_probability=0.45, seed=seed),
+    )
+
+
+def _acyclic_random(count: int, seed: int) -> EvalScenario:
+    rng = random.Random(seed)
+    return EvalScenario(
+        "acyclic_random",
+        "random tree-shaped queries (easy cores, treedepth route)",
+        tuple(random_acyclic_query(rng, rng.randint(3, 6)) for _ in range(count)),
+        dense_graph_database(20, edge_probability=0.25, seed=seed),
+    )
+
+
+#: The table layout of :func:`mixed_vocabulary_database`, reused by the
+#: random query generator so generated queries match the schema.
+MIXED_TABLES: Dict[str, int] = {"E": 2, "L": 2, "R": 3, "C1": 1, "C2": 1}
+
+
+def _mixed_vocabulary(count: int, seed: int) -> EvalScenario:
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        # Three sub-schemas — pure graph, link+colour, and the full mix —
+        # so one batch spans several distinct vocabularies, plus a slice
+        # of long path queries so the batch carries PATH-regime weight.
+        choice = rng.random()
+        if choice < 0.1:
+            queries.append(path_query(rng.randint(10, 15)))
+            continue
+        if choice < 0.45:
+            tables = {"E": 2}
+        elif choice < 0.72:
+            tables = {"L": 2, "C1": 1}
+        else:
+            tables = MIXED_TABLES
+        queries.append(random_query(rng, tables, max_atoms=4, max_variables=5))
+    return EvalScenario(
+        "mixed_vocabulary",
+        "random queries across three sub-schemas of a five-table database",
+        tuple(queries),
+        mixed_vocabulary_database(42, rows_per_table=160, seed=seed),
+    )
+
+
+_SCENARIO_BUILDERS: Dict[str, Callable[[int, int], EvalScenario]] = {
+    "grid_walks": _grid_walks,
+    "expander_mix": _expander_mix,
+    "long_paths": _long_paths,
+    "stars_skewed": _stars_skewed,
+    "cycles_dense": _cycles_dense,
+    "acyclic_random": _acyclic_random,
+    "mixed_vocabulary": _mixed_vocabulary,
+}
+
+
+def all_scenario_names() -> Tuple[str, ...]:
+    """Return the names of all registered scenarios (sorted)."""
+    return tuple(sorted(_SCENARIO_BUILDERS))
+
+
+def scenario_by_name(name: str, count: int = 50, seed: int = 0) -> EvalScenario:
+    """Build the named scenario with ``count`` queries, deterministically."""
+    try:
+        builder = _SCENARIO_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {sorted(_SCENARIO_BUILDERS)}"
+        ) from None
+    return builder(count, seed)
+
+
+def all_scenarios(count: int = 50, seed: int = 0) -> List[EvalScenario]:
+    """Build every registered scenario at the given scale."""
+    return [scenario_by_name(name, count, seed) for name in all_scenario_names()]

@@ -8,10 +8,13 @@ yes-instances so both answers are exercised.
 
 from __future__ import annotations
 
+import itertools
 import random
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.cq.database import Database
 from repro.reductions.base import EmbInstance, HomInstance
+from repro.structures.builders import circulant_graph, grid_graph
 from repro.structures.operations import color_symbol
 from repro.structures.random_gen import (
     planted_homomorphism_target,
@@ -86,3 +89,130 @@ def emb_instances_for_pattern(
         EmbInstance(pattern, random_graph_structure(size, edge_probability, seed + index))
         for index, size in enumerate(sizes)
     ]
+
+
+# ---------------------------------------------------------------------------
+# database-flavoured targets for the EVAL(Φ) execution service
+# ---------------------------------------------------------------------------
+
+def _zipf_sampler(rng: random.Random, population: Sequence, skew: float):
+    """Return a zero-argument sampler drawing values with P ∝ 1/rank^skew.
+
+    The cumulative weights are computed once per sampler, not per draw —
+    each draw is then a single binary search inside ``rng.choices``.
+    """
+    cumulative = list(
+        itertools.accumulate(
+            1.0 / (rank + 1) ** skew for rank in range(len(population))
+        )
+    )
+
+    def sample():
+        return rng.choices(population, cum_weights=cumulative, k=1)[0]
+
+    return sample
+
+
+def skewed_database(
+    n: int,
+    rows_per_table: int,
+    tables: Optional[Dict[str, int]] = None,
+    skew: float = 1.5,
+    seed: int = 0,
+) -> Database:
+    """Return a database whose value distribution is Zipf-skewed.
+
+    A few "celebrity" domain values appear in most rows — the classic
+    worst case for join fan-out, and exactly the situation where the
+    cost-based planner's fan-out statistic diverges from the uniform
+    estimate.  ``tables`` maps table names to arities (default: a binary
+    ``E`` and a unary ``C1``).
+    """
+    if tables is None:
+        tables = {"E": 2, "C1": 1}
+    rng = random.Random(seed)
+    domain = list(range(n))
+    sample = _zipf_sampler(rng, domain, skew)
+    built: Dict[str, Set[Tuple]] = {}
+    for name in sorted(tables):
+        arity = tables[name]
+        rows: Set[Tuple] = set()
+        for _ in range(rows_per_table):
+            rows.add(tuple(sample() for _ in range(arity)))
+        built[name] = rows
+    return Database(built, domain=domain)
+
+
+def dense_graph_database(n: int, edge_probability: float = 0.5, seed: int = 0) -> Database:
+    """Return a dense random directed-graph database over table ``E``."""
+    rng = random.Random(seed)
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(n)
+        if i != j and rng.random() < edge_probability
+    ]
+    return Database({"E": edges}, domain=range(n))
+
+
+def _symmetric_graph_database(graph) -> Database:
+    """An undirected graph as a database: every edge in both directions."""
+    edges = set()
+    for edge in graph.edges:
+        u, v = tuple(edge)
+        edges.add((u, v))
+        edges.add((v, u))
+    return Database({"E": sorted(edges)}, domain=list(graph))
+
+
+def grid_database(rows: int, cols: int) -> Database:
+    """Return the (symmetrised) ``rows × cols`` grid as a graph database."""
+    return _symmetric_graph_database(grid_graph(rows, cols))
+
+
+def expander_database(n: int, offsets: Sequence[int] = (1, 2)) -> Database:
+    """Return the (symmetrised) circulant ``C_n(offsets)`` as a graph database.
+
+    With spread-out offsets circulants behave like expanders: constant
+    degree but no small separators, so path/tree sweeps see uniformly
+    high fan-out everywhere.
+    """
+    return _symmetric_graph_database(circulant_graph(n, offsets))
+
+
+def mixed_vocabulary_database(
+    n: int,
+    rows_per_table: int,
+    seed: int = 0,
+    skew: float = 0.0,
+) -> Database:
+    """Return a multi-table database exercising several vocabularies at once.
+
+    Tables: a symmetric binary ``E`` (graph edges), an asymmetric binary
+    ``L`` (links), a ternary ``R``, and two unary colours ``C1``/``C2``.
+    Query batches over different subsets of these tables force the
+    evaluator to maintain one target structure (and one index set) per
+    vocabulary — the sharing behaviour the execution service is built
+    around.  ``skew > 0`` draws values Zipf-style instead of uniformly.
+    """
+    rng = random.Random(seed)
+    domain = list(range(n))
+    pick = _zipf_sampler(rng, domain, skew) if skew > 0 else (lambda: rng.choice(domain))
+
+    edges: Set[Tuple[int, int]] = set()
+    # There are only n·(n−1) ordered non-loop pairs; cap the target so a
+    # large rows_per_table saturates the table instead of looping forever.
+    edge_target = min(2 * rows_per_table, n * (n - 1))
+    while len(edges) < edge_target:
+        a, b = pick(), pick()
+        if a != b:
+            edges.add((a, b))
+            edges.add((b, a))
+    links = {(pick(), pick()) for _ in range(rows_per_table)}
+    triples = {(pick(), pick(), pick()) for _ in range(rows_per_table)}
+    c1 = {(value,) for value in rng.sample(domain, max(1, n // 3))}
+    c2 = {(value,) for value in rng.sample(domain, max(1, n // 4))}
+    return Database(
+        {"E": edges, "L": links, "R": triples, "C1": c1, "C2": c2},
+        domain=domain,
+    )

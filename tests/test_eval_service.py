@@ -1,0 +1,145 @@
+"""Tests for the EVAL(Φ) execution service (:mod:`repro.eval.executor`)."""
+
+import itertools
+
+import pytest
+
+from repro.classification import PlannerConfig
+from repro.cq import (
+    evaluate_query_set,
+    evaluate_query_set_sequential,
+    evaluate_query_set_stream,
+    parse_query,
+)
+from repro.eval import EvalService, ExecutorConfig
+from repro.eval.executor import _chunks
+from repro.workloads import scenario_by_name
+
+
+def triples(results):
+    """The byte-comparable projection: (query text, answer, solver)."""
+    return [(str(query), result.answer, result.solver) for query, result in results]
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return scenario_by_name("mixed_vocabulary", count=40, seed=17)
+
+
+class TestExecutorConfig:
+    def test_defaults_resolve_to_at_least_one_worker(self):
+        assert ExecutorConfig().effective_workers() >= 1
+
+    def test_zero_workers_resolve_to_one(self):
+        assert ExecutorConfig(workers=0).effective_workers() == 1
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"workers": -1}, {"chunk_size": 0}, {"inflight_factor": 0}]
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutorConfig(**kwargs)
+
+    def test_chunks_cover_input_in_order(self):
+        chunks = list(_chunks(range(10), 3))
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        assert list(itertools.chain.from_iterable(chunks)) == list(range(10))
+
+
+class TestParallelEquivalence:
+    def test_parallel_results_byte_identical_to_sequential(self, scenario):
+        sequential = evaluate_query_set_sequential(scenario.queries, scenario.database)
+        config = ExecutorConfig(workers=2, chunk_size=5, min_parallel_batch=1)
+        with EvalService(scenario.database, executor=config) as service:
+            parallel = service.evaluate(scenario.queries)
+            # Pool reuse: a second batch over the same service still matches.
+            again = service.evaluate(scenario.queries[:10])
+        assert triples(parallel) == triples(sequential)
+        assert triples(again) == triples(sequential[:10])
+
+    def test_evaluate_query_set_routes_through_the_service(self, scenario):
+        sequential = evaluate_query_set(scenario.queries, scenario.database)
+        parallel = evaluate_query_set(scenario.queries, scenario.database, workers=2)
+        assert triples(parallel) == triples(sequential)
+
+    def test_small_batches_stay_in_process(self, scenario):
+        # Below min_parallel_batch the service must not pay for a pool.
+        config = ExecutorConfig(workers=2, min_parallel_batch=1000)
+        with EvalService(scenario.database, executor=config) as service:
+            results = service.evaluate(scenario.queries[:5])
+            assert service._pool is None  # no pool was created
+        assert triples(results) == triples(
+            evaluate_query_set_sequential(scenario.queries[:5], scenario.database)
+        )
+
+    def test_workers_and_conflicting_executor_config_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            evaluate_query_set(
+                scenario.queries,
+                scenario.database,
+                workers=3,
+                executor=ExecutorConfig(workers=2),
+            )
+
+
+class TestStreaming:
+    def test_stream_preserves_input_order(self, scenario):
+        config = ExecutorConfig(workers=2, chunk_size=4, min_parallel_batch=1)
+        streamed = list(
+            evaluate_query_set_stream(
+                iter(scenario.queries), scenario.database, executor=config
+            )
+        )
+        assert triples(streamed) == triples(
+            evaluate_query_set_sequential(scenario.queries, scenario.database)
+        )
+
+    def test_stream_is_lazy_on_the_sequential_path(self, scenario):
+        consumed = []
+
+        def tracking():
+            for query in scenario.queries:
+                consumed.append(query)
+                yield query
+
+        stream = evaluate_query_set_stream(tracking(), scenario.database)
+        first = next(stream)
+        assert first[0] is scenario.queries[0]
+        # Only a prefix of the input has been pulled, not the whole batch.
+        assert len(consumed) < len(scenario.queries)
+        stream.close()
+
+    def test_stream_window_bounds_inflight_chunks(self, scenario):
+        # With a tiny window the stream still terminates and stays ordered.
+        config = ExecutorConfig(
+            workers=2, chunk_size=2, min_parallel_batch=1, inflight_factor=1
+        )
+        with EvalService(scenario.database, executor=config) as service:
+            streamed = list(service.evaluate_stream(scenario.queries[:12]))
+        assert triples(streamed) == triples(
+            evaluate_query_set_sequential(scenario.queries[:12], scenario.database)
+        )
+
+
+class TestCostModePlanning:
+    def test_cost_mode_answers_match_reference(self, scenario):
+        reference = evaluate_query_set_sequential(scenario.queries, scenario.database)
+        cost_planned = evaluate_query_set(
+            scenario.queries, scenario.database, planner=PlannerConfig(mode="cost")
+        )
+        # Routes may differ (that is the point); answers may not.
+        assert [r.answer for _, r in cost_planned] == [r.answer for _, r in reference]
+        assert [str(q) for q, _ in cost_planned] == [str(q) for q, _ in reference]
+
+    def test_service_plan_exposes_estimates(self, scenario):
+        service = EvalService(scenario.database, planner=PlannerConfig(mode="cost"))
+        plan = service.plan(scenario.queries[0])
+        assert plan.mode == "cost"
+        assert plan.estimates and plan.cost == min(plan.estimates.values())
+
+    def test_statistics_reflect_query_vocabulary(self):
+        scenario = scenario_by_name("grid_walks", count=3, seed=1)
+        service = EvalService(scenario.database)
+        stats = service.statistics(parse_query("E(x, y)"))
+        assert stats.universe_size == 36
+        assert stats.relation_sizes["E"] == 120

@@ -1,0 +1,198 @@
+"""Planner and dispatch provenance: every solver route is reachable,
+reported degrees match the configured thresholds (including the exact
+boundary cases), and the cost-based planner behaves sanely."""
+
+import pytest
+
+from repro.classification import (
+    ComplexityDegree,
+    PlannerConfig,
+    StructureProfile,
+    choose_degree,
+    classify_structure,
+    solve_hom,
+    solve_with_degree,
+)
+from repro.eval import DatabaseStatistics, estimate_route_costs, plan_query
+from repro.homomorphism import has_homomorphism
+from repro.structures import clique, cycle, path
+from repro.structures.builders import directed_path
+from repro.structures.random_gen import random_graph_structure
+
+
+def profile_with_widths(tw: int, pw: int, td: int) -> StructureProfile:
+    """A synthetic profile carrying exactly the requested core widths."""
+    structure = path(2)
+    return StructureProfile(
+        structure=structure,
+        core=structure,
+        core_treewidth=tw,
+        core_pathwidth=pw,
+        core_treedepth=td,
+    )
+
+
+class TestChooseDegreeBoundaries:
+    """The default thresholds are tw>4 → W1, pw>3 → TREE, td>4 → PATH."""
+
+    @pytest.mark.parametrize(
+        "tw, pw, td, expected",
+        [
+            # exactly at each threshold: still the lighter degree
+            (4, 3, 4, ComplexityDegree.PARA_L),
+            (1, 1, 4, ComplexityDegree.PARA_L),
+            # one past the treedepth threshold only
+            (1, 1, 5, ComplexityDegree.PATH_COMPLETE),
+            (4, 3, 5, ComplexityDegree.PATH_COMPLETE),
+            # one past the pathwidth threshold (treedepth then irrelevant)
+            (4, 4, 5, ComplexityDegree.TREE_COMPLETE),
+            (1, 4, 99, ComplexityDegree.TREE_COMPLETE),
+            # one past the treewidth threshold dominates everything
+            (5, 4, 5, ComplexityDegree.W1_HARD),
+            (5, 99, 99, ComplexityDegree.W1_HARD),
+        ],
+    )
+    def test_default_threshold_boundaries(self, tw, pw, td, expected):
+        assert choose_degree(profile_with_widths(tw, pw, td)) is expected
+
+    def test_custom_thresholds_move_the_boundary(self):
+        profile = profile_with_widths(3, 3, 4)
+        strict = PlannerConfig(
+            treewidth_threshold=2, pathwidth_threshold=2, treedepth_threshold=2
+        )
+        assert choose_degree(profile) is ComplexityDegree.PARA_L
+        assert choose_degree(profile, strict) is ComplexityDegree.W1_HARD
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PlannerConfig(mode="oracle")
+
+
+class TestSolverProvenance:
+    """Each SolveResult.solver is reachable on a real structure of known
+    widths, and the string matches the reported degree."""
+
+    SOLVER_BY_DEGREE = {
+        ComplexityDegree.PARA_L: "treedepth-recursion (Lemma 3.3)",
+        ComplexityDegree.PATH_COMPLETE: "semiring join engine, path sweep (Theorem 4.6)",
+        ComplexityDegree.TREE_COMPLETE: "semiring join engine, tree-decomposition DP (Lemma 3.4)",
+        ComplexityDegree.W1_HARD: "generic backtracking (W[1]-hard regime)",
+    }
+
+    # (pattern, expected degree, expected exact-or-heuristic core widths)
+    CASES = [
+        (path(4), ComplexityDegree.PARA_L, (1, 1, 2)),
+        (directed_path(17), ComplexityDegree.PATH_COMPLETE, None),
+        (clique(5), ComplexityDegree.TREE_COMPLETE, (4, 4, 5)),
+        (clique(6), ComplexityDegree.W1_HARD, (5, 5, 6)),
+    ]
+
+    @pytest.mark.parametrize("pattern, degree, widths", CASES)
+    def test_real_structures_reach_each_route(self, pattern, degree, widths):
+        target = random_graph_structure(9, 0.6, seed=13)
+        profile = classify_structure(pattern)
+        if widths is not None:
+            assert (
+                profile.core_treewidth,
+                profile.core_pathwidth,
+                profile.core_treedepth,
+            ) == widths
+        result = solve_hom(pattern, target, profile=profile)
+        assert result.degree is degree
+        assert result.solver == self.SOLVER_BY_DEGREE[degree]
+        assert result.answer == has_homomorphism(pattern, target)
+
+    def test_all_four_solver_strings_distinct(self):
+        assert len(set(self.SOLVER_BY_DEGREE.values())) == 4
+
+    @pytest.mark.parametrize("degree", list(ComplexityDegree))
+    def test_forced_route_keeps_answer_and_provenance(self, degree):
+        # Every route is correct for every structure; forcing it must
+        # change only the solver string, never the answer.
+        pattern = cycle(5)
+        target = random_graph_structure(8, 0.5, seed=3)
+        profile = classify_structure(pattern)
+        result = solve_with_degree(pattern, target, degree, profile)
+        assert result.solver == self.SOLVER_BY_DEGREE[degree]
+        assert result.degree is degree
+        assert result.answer == has_homomorphism(pattern, target)
+
+
+class TestCostPlanner:
+    def test_threshold_mode_matches_choose_degree(self):
+        target = random_graph_structure(10, 0.4, seed=5)
+        stats = DatabaseStatistics.of(target)
+        for pattern in (path(4), clique(5), clique(6), directed_path(17)):
+            profile = classify_structure(pattern)
+            plan = plan_query(profile, stats, PlannerConfig())
+            assert plan.degree is choose_degree(profile)
+            assert plan.mode == "threshold"
+            # estimates are populated (advisory) when stats are available
+            assert set(plan.estimates) == set(ComplexityDegree)
+
+    def test_cost_mode_picks_a_cheapest_route(self):
+        target = random_graph_structure(10, 0.4, seed=5)
+        stats = DatabaseStatistics.of(target)
+        config = PlannerConfig(mode="cost")
+        profile = classify_structure(cycle(5))
+        plan = plan_query(profile, stats, config)
+        assert plan.mode == "cost"
+        assert plan.cost == min(plan.estimates.values())
+
+    def test_cost_mode_tracks_database_size(self):
+        config = PlannerConfig(mode="cost")
+        profile = classify_structure(path(4))
+        small = DatabaseStatistics.of(random_graph_structure(5, 0.5, seed=1))
+        large = DatabaseStatistics.of(random_graph_structure(40, 0.5, seed=1))
+        cheap = estimate_route_costs(profile, small, config)
+        costly = estimate_route_costs(profile, large, config)
+        for degree in ComplexityDegree:
+            assert costly[degree] > cheap[degree]
+
+    def test_result_degree_is_the_route_but_classification_is_preserved(self):
+        # A cost-mode plan may route a para-L query to backtracking; the
+        # result's degree records that route, while .classification()
+        # still reports the Theorem 3.1 degree from the core widths.
+        pattern = path(4)
+        target = random_graph_structure(6, 0.5, seed=9)
+        profile = classify_structure(pattern)
+        forced = solve_with_degree(pattern, target, ComplexityDegree.W1_HARD, profile)
+        assert forced.degree is ComplexityDegree.W1_HARD
+        assert forced.classification() is ComplexityDegree.PARA_L
+
+    def test_cost_mode_without_stats_falls_back_to_thresholds(self):
+        profile = classify_structure(clique(6))
+        plan = plan_query(profile, None, PlannerConfig(mode="cost"))
+        assert plan.degree is choose_degree(profile)
+        assert plan.estimates == {}
+
+    def test_plan_summary_mentions_route(self):
+        stats = DatabaseStatistics.of(random_graph_structure(6, 0.5, seed=2))
+        plan = plan_query(classify_structure(path(3)), stats)
+        assert "route" in plan.summary()
+
+
+class TestDatabaseStatistics:
+    def test_fan_out_of_a_functional_relation_is_one(self):
+        # A directed path: every vertex has exactly one out-neighbour.
+        stats = DatabaseStatistics.of(directed_path(6))
+        assert stats.fan_out["E"] == 1.0
+        assert stats.universe_size == 6
+        assert stats.relation_sizes["E"] == 5
+
+    def test_fan_out_of_a_star_is_the_leaf_count(self):
+        from repro.workloads import star_query
+
+        pattern = star_query(7).canonical_structure()
+        stats = DatabaseStatistics.of(pattern)
+        assert stats.fan_out["E"] == 7.0
+        assert stats.max_fan_out == 7.0
+
+    def test_empty_relation_contributes_zero(self):
+        from repro.structures import Structure, Vocabulary
+
+        structure = Structure(Vocabulary({"E": 2}), [1, 2], {})
+        stats = DatabaseStatistics.of(structure)
+        assert stats.fan_out["E"] == 0.0
+        assert stats.total_tuples == 0
+        assert stats.max_fan_out == 1.0

@@ -1,0 +1,103 @@
+"""Unit tests for the bounded classification-profile LRU in
+:mod:`repro.cq.evaluation` (`_PROFILE_CACHE`)."""
+
+import pytest
+
+from repro.cq import evaluate_query_set_sequential, parse_query
+from repro.cq import evaluation as evaluation_module
+from repro.cq.evaluation import (
+    _PROFILE_CACHE,
+    _cached_profile,
+    clear_profile_cache,
+)
+from repro.workloads import dense_graph_database, path_query
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Every test starts and ends with an empty profile cache."""
+    clear_profile_cache()
+    yield
+    clear_profile_cache()
+
+
+def pattern_of_length(length):
+    """Distinct canonical structures: directed path queries of distinct lengths."""
+    return path_query(length).canonical_structure()
+
+
+class TestCachedProfile:
+    def test_populates_on_miss_and_reuses_on_hit(self):
+        pattern = pattern_of_length(2)
+        first = _cached_profile(pattern)
+        assert len(_PROFILE_CACHE) == 1
+        assert _cached_profile(pattern) is first
+        assert len(_PROFILE_CACHE) == 1
+
+    def test_eviction_at_limit_drops_oldest(self, monkeypatch):
+        monkeypatch.setattr(evaluation_module, "_PROFILE_CACHE_LIMIT", 3)
+        patterns = [pattern_of_length(length) for length in range(1, 5)]
+        for pattern in patterns[:3]:
+            _cached_profile(pattern)
+        assert len(_PROFILE_CACHE) == 3
+        _cached_profile(patterns[3])  # forces an eviction
+        assert len(_PROFILE_CACHE) == 3
+        assert patterns[0] not in _PROFILE_CACHE  # FIFO end of the LRU
+        assert patterns[3] in _PROFILE_CACHE
+
+    def test_move_to_end_protects_recently_used_entries(self, monkeypatch):
+        monkeypatch.setattr(evaluation_module, "_PROFILE_CACHE_LIMIT", 3)
+        patterns = [pattern_of_length(length) for length in range(1, 5)]
+        for pattern in patterns[:3]:
+            _cached_profile(pattern)
+        _cached_profile(patterns[0])  # hit: moves patterns[0] to the MRU end
+        _cached_profile(patterns[3])  # evicts patterns[1], not patterns[0]
+        assert patterns[0] in _PROFILE_CACHE
+        assert patterns[1] not in _PROFILE_CACHE
+        assert list(_PROFILE_CACHE) == [patterns[2], patterns[0], patterns[3]]
+
+    def test_clear_profile_cache_empties_everything(self):
+        for length in range(1, 4):
+            _cached_profile(pattern_of_length(length))
+        assert len(_PROFILE_CACHE) == 3
+        clear_profile_cache()
+        assert len(_PROFILE_CACHE) == 0
+
+
+class TestEvaluateQuerySetCacheFlag:
+    def test_use_cache_true_populates_the_shared_cache(self):
+        database = dense_graph_database(8, 0.4, seed=1)
+        queries = [parse_query("E(x, y)"), parse_query("E(x, y), E(y, z)")]
+        evaluate_query_set_sequential(queries, database, use_cache=True)
+        assert len(_PROFILE_CACHE) == 2
+
+    def test_use_cache_false_bypasses_the_shared_cache(self):
+        database = dense_graph_database(8, 0.4, seed=1)
+        queries = [parse_query("E(x, y)"), parse_query("E(x, y), E(y, z)")]
+        evaluate_query_set_sequential(queries, database, use_cache=False)
+        assert len(_PROFILE_CACHE) == 0
+
+    def test_use_cache_false_still_deduplicates_within_the_batch(self, monkeypatch):
+        calls = []
+        real = evaluation_module.classify_structure
+
+        def counting_classify(structure):
+            calls.append(structure)
+            return real(structure)
+
+        monkeypatch.setattr(evaluation_module, "classify_structure", counting_classify)
+        database = dense_graph_database(8, 0.4, seed=1)
+        queries = [parse_query("E(x, y)")] * 5
+        evaluate_query_set_sequential(queries, database, use_cache=False)
+        assert len(calls) == 1  # one classification for five identical queries
+
+    def test_service_sequential_path_respects_use_cache(self):
+        from repro.eval import EvalService, ExecutorConfig
+
+        database = dense_graph_database(8, 0.4, seed=1)
+        queries = [parse_query("E(a, b), E(b, c)")]
+        with EvalService(database, executor=ExecutorConfig(workers=1)) as service:
+            service.evaluate(queries, use_cache=False)
+            assert len(_PROFILE_CACHE) == 0
+            service.evaluate(queries, use_cache=True)
+            assert len(_PROFILE_CACHE) == 1

@@ -4,13 +4,27 @@ import pytest
 
 from repro.homomorphism import has_homomorphism
 from repro.structures import is_star_expansion, path, star_expansion
+from repro.structures.random_gen import (
+    random_graph_structure,
+    random_structure,
+    random_tree_graph,
+)
+from repro.structures.vocabulary import Vocabulary
 from repro.workloads import (
     EXPECTED_DEGREES,
     all_family_names,
+    all_scenario_names,
+    all_scenarios,
     colored_path_target,
+    dense_graph_database,
     emb_instances_for_pattern,
+    expander_database,
     family_by_name,
+    grid_database,
     hom_instances_for_pattern,
+    mixed_vocabulary_database,
+    scenario_by_name,
+    skewed_database,
 )
 
 
@@ -62,3 +76,104 @@ class TestTargets:
     def test_emb_instances(self):
         instances = emb_instances_for_pattern(path(3), [4, 6])
         assert [len(instance.target) for instance in instances] == [4, 6]
+
+
+class TestDatabaseTargets:
+    def test_skewed_database_has_requested_domain(self):
+        database = skewed_database(20, rows_per_table=40, seed=3)
+        assert len(database.domain) == 20
+        assert database.arity("E") == 2
+
+    def test_skew_concentrates_mass(self):
+        # With heavy skew the most frequent value dominates; uniform spreads.
+        skewed = skewed_database(50, rows_per_table=200, skew=2.5, seed=1)
+        counts = {}
+        for a, b in skewed.table("E"):
+            counts[a] = counts.get(a, 0) + 1
+        top_share = max(counts.values()) / len(skewed.table("E"))
+        assert top_share > 0.25
+
+    def test_dense_graph_database_density(self):
+        database = dense_graph_database(12, edge_probability=0.5, seed=2)
+        assert 30 < len(database.table("E")) < 110  # of 132 ordered pairs
+
+    def test_grid_database_is_symmetric(self):
+        database = grid_database(3, 4)
+        rows = set(database.table("E"))
+        assert all((b, a) in rows for a, b in rows)
+        assert len(database.domain) == 12
+
+    def test_expander_database_regularity(self):
+        database = expander_database(11, (1, 3))
+        degree = {}
+        for a, _ in database.table("E"):
+            degree[a] = degree.get(a, 0) + 1
+        assert set(degree.values()) == {4}  # 2 offsets → 4-regular
+
+    def test_mixed_vocabulary_database_tables(self):
+        database = mixed_vocabulary_database(15, rows_per_table=30, seed=4)
+        assert database.table_names() == ["C1", "C2", "E", "L", "R"]
+        assert database.arity("R") == 3
+
+
+class TestScenarios:
+    def test_every_scenario_builds_at_requested_scale(self):
+        for name in all_scenario_names():
+            scenario = scenario_by_name(name, count=5, seed=1)
+            assert scenario.name == name
+            assert len(scenario.queries) == 5
+            assert scenario.database.number_of_rows() > 0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            scenario_by_name("nonexistent")
+
+    def test_scenarios_are_deterministic(self):
+        first = all_scenarios(count=6, seed=9)
+        second = all_scenarios(count=6, seed=9)
+        for a, b in zip(first, second):
+            assert [str(q) for q in a.queries] == [str(q) for q in b.queries]
+            assert a.database.to_structure() == b.database.to_structure()
+
+    def test_scenario_queries_match_database_schema(self):
+        for name in all_scenario_names():
+            scenario = scenario_by_name(name, count=8, seed=2)
+            schema = scenario.database.vocabulary()
+            for query in scenario.queries:
+                for symbol in query.vocabulary():
+                    assert symbol.name in schema
+                    assert schema.arity(symbol.name) == symbol.arity
+
+
+class TestGeneratorDeterminism:
+    """Same seed ⇒ identical structures; no module-global random state."""
+
+    def test_same_seed_same_graph_structure(self):
+        assert random_graph_structure(12, 0.4, seed=7) == random_graph_structure(
+            12, 0.4, seed=7
+        )
+
+    def test_same_seed_same_random_structure(self):
+        vocabulary = Vocabulary({"E": 2, "R": 3})
+        assert random_structure(vocabulary, 9, 20, seed=11) == random_structure(
+            vocabulary, 9, 20, seed=11
+        )
+
+    def test_same_seed_same_tree(self):
+        first = random_tree_graph(16, seed=5)
+        second = random_tree_graph(16, seed=5)
+        assert first.vertices == second.vertices and first.edges == second.edges
+
+    def test_omitted_seed_is_reproducible(self):
+        # seed=None means the fixed DEFAULT_SEED, not OS entropy.
+        assert random_graph_structure(10, 0.5) == random_graph_structure(10, 0.5)
+
+    def test_global_random_state_untouched(self):
+        import random as global_random
+
+        global_random.seed(123)
+        before = global_random.getstate()
+        random_graph_structure(10, 0.5, seed=3)
+        random_structure(Vocabulary({"E": 2}), 6, 10, seed=3)
+        scenario_by_name("mixed_vocabulary", count=5, seed=3)
+        assert global_random.getstate() == before
