@@ -25,19 +25,27 @@ from typing import Callable, Iterable, List, Optional, Sequence
 from repro.classification.degrees import ComplexityDegree, degree_from_width_bounds
 from repro.decomposition.width import width_profile
 from repro.exceptions import ClassificationError
-from repro.homomorphism.cores import core as compute_core
+from repro.homomorphism.core_engine import compute_core
 from repro.structures.structure import Structure
 
 
 @dataclass
 class StructureProfile:
-    """Exact width measurements for one structure and its core."""
+    """Exact width measurements for one structure and its core.
+
+    ``core_certificate`` records how the core engine proved core-ness:
+    a rigidity-certificate tag (``"singleton"``, ``"clique"``,
+    ``"odd-cycle"``, ``"ac-rigid"``) when classification skipped the
+    endomorphism search entirely, or None when the exhaustive
+    non-surjective-endomorphism search was needed.
+    """
 
     structure: Structure
     core: Structure
     core_treewidth: int
     core_pathwidth: int
     core_treedepth: int
+    core_certificate: Optional[str] = None
 
     @property
     def core_size(self) -> int:
@@ -78,10 +86,24 @@ class ClassificationReport:
 
 
 def classify_structure(structure: Structure) -> StructureProfile:
-    """Return the exact core width profile of a single structure."""
-    core = compute_core(structure)
-    tw, pw, td = width_profile(core)
-    return StructureProfile(structure, core, tw, pw, td)
+    """Return the exact core width profile of a single structure.
+
+    The core comes from the rigidity-certified engine
+    (:func:`repro.homomorphism.core_engine.compute_core`): patterns whose
+    cores fold away or certify rigid never pay for an endomorphism
+    search, which is what keeps classification viable for the larger
+    query patterns the workload scenarios generate.
+    """
+    computation = compute_core(structure)
+    tw, pw, td = width_profile(computation.core)
+    return StructureProfile(
+        structure,
+        computation.core,
+        tw,
+        pw,
+        td,
+        core_certificate=computation.certificate,
+    )
 
 
 def classify_with_bounds(

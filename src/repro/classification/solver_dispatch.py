@@ -98,6 +98,16 @@ class SolveResult:
     degree: ComplexityDegree
     profile: StructureProfile
 
+    @property
+    def core_certificate(self) -> Optional[str]:
+        """How the core engine proved the query core rigid (None = search).
+
+        Provenance from the rigidity-certified core computation behind
+        the profile; lets benchmarks attribute classification time to
+        certified vs searched cores.
+        """
+        return self.profile.core_certificate
+
     def classification(
         self, config: Optional[PlannerConfig] = None
     ) -> ComplexityDegree:

@@ -89,7 +89,10 @@ class _EvaluationContext:
     for the lifetime of the pool.  It memoises the database→structure
     conversion and the database statistics per vocabulary, and the
     classification profile per canonical structure — the two sharing
-    levers that make batched EVAL(Φ) cheap.
+    levers that make batched EVAL(Φ) cheap.  Profiles come from the
+    rigidity-certified core engine (via :func:`classify_structure`), so
+    a cache miss on a fold-collapsible or certificate-rigid pattern
+    costs index lookups and propagation, not ``n`` retraction searches.
     """
 
     def __init__(

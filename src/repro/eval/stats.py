@@ -51,10 +51,18 @@ class DatabaseStatistics:
 
     @property
     def mean_fan_out(self) -> float:
-        """The mean per-relation fan-out (at least 1.0)."""
-        if not self.fan_out:
+        """The mean fan-out over *populated* relations (at least 1.0).
+
+        Empty (and nullary) relations record ``fan_out = 0.0`` but cost
+        the solvers no extension work at all, so averaging them in would
+        deflate the mean and skew cost-mode planning on sparse
+        vocabularies where most symbols are uninstantiated; only
+        relations that actually hold tuples participate.
+        """
+        populated = [value for value in self.fan_out.values() if value > 0.0]
+        if not populated:
             return 1.0
-        return max(1.0, sum(self.fan_out.values()) / len(self.fan_out))
+        return max(1.0, sum(populated) / len(populated))
 
     @classmethod
     def of(cls, target: Structure) -> "DatabaseStatistics":

@@ -2,7 +2,14 @@
 
 * :mod:`repro.homomorphism.backtracking` — generic CSP-style solver
   (ground truth for all specialised algorithms).
-* :mod:`repro.homomorphism.cores` — cores and homomorphic equivalence.
+* :mod:`repro.homomorphism.obstructions` — vocabulary-level obstruction
+  checks (nullary atoms) shared by every solver.
+* :mod:`repro.homomorphism.cores` — cores and homomorphic equivalence,
+  backed by the rigidity-certified core engine; the ``legacy_*``
+  variants keep the seed's per-element restart loop.
+* :mod:`repro.homomorphism.core_engine` — fold elimination, rigidity
+  certificates, and the single non-surjective-endomorphism search
+  behind ``core``.
 * :mod:`repro.homomorphism.join_engine` — the semiring join engine:
   indexed, semiring-parameterized DP over tree/path decompositions (one
   code path for existence and counting).
@@ -27,6 +34,15 @@ from repro.homomorphism.backtracking import (
     is_homomorphism,
     is_partial_homomorphism,
 )
+from repro.homomorphism.core_engine import (
+    CoreComputation,
+    compute_core,
+    endomorphism_domains,
+    find_fold,
+    find_non_surjective_endomorphism,
+    fold_reduce,
+    rigidity_certificate,
+)
 from repro.homomorphism.cores import (
     core,
     core_with_witness,
@@ -34,7 +50,12 @@ from repro.homomorphism.cores import (
     find_proper_retraction,
     homomorphically_equivalent,
     is_core,
+    legacy_core,
+    legacy_core_with_witness,
+    legacy_find_proper_retraction,
+    legacy_is_core,
 )
+from repro.homomorphism.obstructions import nullary_obstruction
 from repro.homomorphism.decomposition_solver import (
     count_homomorphisms_pd,
     count_homomorphisms_td,
@@ -73,12 +94,24 @@ __all__ = [
     "is_homomorphism",
     "is_partial_homomorphism",
     "compatible",
+    "nullary_obstruction",
     "core",
     "core_with_witness",
     "is_core",
     "find_proper_retraction",
     "homomorphically_equivalent",
     "count_automorphisms",
+    "CoreComputation",
+    "compute_core",
+    "endomorphism_domains",
+    "find_fold",
+    "find_non_surjective_endomorphism",
+    "fold_reduce",
+    "rigidity_certificate",
+    "legacy_core",
+    "legacy_core_with_witness",
+    "legacy_find_proper_retraction",
+    "legacy_is_core",
     "homomorphism_exists_td",
     "count_homomorphisms_td",
     "homomorphism_exists_pd",

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Hashable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.exceptions import VocabularyError
+from repro.homomorphism.obstructions import nullary_obstruction
 from repro.structures.structure import Structure
 
 Element = Hashable
@@ -114,6 +115,10 @@ class HomomorphismProblem:
             if value not in self._domains.get(element, frozenset()):
                 return
         if self._injective and len(set(assignment.values())) != len(assignment):
+            return
+        # Arity-0 atoms constrain no element, so the element-driven search
+        # below never sees them; they are decided here, up front.
+        if nullary_obstruction(self._source, self._target):
             return
         if not self._consistent(assignment):
             return

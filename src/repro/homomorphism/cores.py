@@ -6,10 +6,15 @@ to which it maps homomorphically and which is itself a core.  The
 Classification Theorem is stated in terms of the width measures of
 ``core(A)``, so the classifier needs an executable core computation.
 
-The algorithm repeatedly looks for a homomorphism into a proper induced
-substructure (equivalently, a non-surjective endomorphism); when none
-exists the structure is a core.  Exponential in the worst case, fine for
-parameter-sized structures.
+The public API (:func:`core`, :func:`is_core`, :func:`core_with_witness`,
+:func:`find_proper_retraction`) is backed by the rigidity-certified
+engine of :mod:`repro.homomorphism.core_engine`: fold elimination,
+degree/AC rigidity certificates, and a single non-surjective-endomorphism
+search.  The seed algorithm — one fresh backtracking search
+``hom(A, A − {a})`` per element, restarted after every retraction — is
+kept as the ``legacy_*`` reference implementations (mirroring how the
+PR-1 join engine kept the product DP), and the equivalence fuzz harness
+checks engine cores against legacy cores up to isomorphism.
 """
 
 from __future__ import annotations
@@ -21,6 +26,11 @@ from repro.homomorphism.backtracking import (
     find_homomorphism,
     has_homomorphism,
 )
+from repro.homomorphism.core_engine import (
+    CoreComputation,
+    compute_core,
+    proper_retraction,
+)
 from repro.structures.structure import Structure
 
 Element = Hashable
@@ -28,6 +38,45 @@ Element = Hashable
 
 def find_proper_retraction(structure: Structure) -> Optional[Dict[Element, Element]]:
     """Return an endomorphism with a proper image, or None when none exists.
+
+    Engine-backed: a fold (dominated-element elimination) is returned
+    without any search; otherwise a rigidity certificate may prove that
+    no proper retraction exists; otherwise one backtracking search for a
+    non-surjective endomorphism decides.  See
+    :func:`legacy_find_proper_retraction` for the seed's per-element
+    restart loop.
+    """
+    return proper_retraction(structure)
+
+
+def is_core(structure: Structure) -> bool:
+    """Return True when the structure is a core (all endomorphisms are embeddings)."""
+    return proper_retraction(structure) is None
+
+
+def core(structure: Structure) -> Structure:
+    """Return the core of the structure (an induced substructure of it).
+
+    The result is a weak substructure of the input that is a core and to
+    which the input maps homomorphically; it is unique up to isomorphism.
+    """
+    return compute_core(structure).core
+
+
+def core_with_witness(structure: Structure) -> tuple[Structure, Dict[Element, Element]]:
+    """Return ``(core, retraction)`` where ``retraction`` maps the structure onto its core."""
+    computation: CoreComputation = compute_core(structure)
+    return computation.core, dict(computation.retraction)
+
+
+# ---------------------------------------------------------------------------
+# The seed implementations (reference for the equivalence harness)
+# ---------------------------------------------------------------------------
+
+def legacy_find_proper_retraction(
+    structure: Structure,
+) -> Optional[Dict[Element, Element]]:
+    """The seed retraction search: one ``hom(A, A − {a})`` run per element.
 
     The search tries, for each element ``a``, to find a homomorphism from
     the structure into the substructure induced by ``universe − {a}``; any
@@ -44,32 +93,30 @@ def find_proper_retraction(structure: Structure) -> Optional[Dict[Element, Eleme
     return None
 
 
-def is_core(structure: Structure) -> bool:
-    """Return True when the structure is a core (all endomorphisms are embeddings)."""
-    return find_proper_retraction(structure) is None
+def legacy_is_core(structure: Structure) -> bool:
+    """The seed core test (per-element retraction searches)."""
+    return legacy_find_proper_retraction(structure) is None
 
 
-def core(structure: Structure) -> Structure:
-    """Return the core of the structure (an induced substructure of it).
-
-    The result is a weak substructure of the input that is a core and to
-    which the input maps homomorphically; it is unique up to isomorphism.
-    """
+def legacy_core(structure: Structure) -> Structure:
+    """The seed core computation: restart the retraction search per round."""
     current = structure
     while True:
-        retraction = find_proper_retraction(current)
+        retraction = legacy_find_proper_retraction(current)
         if retraction is None:
             return current
         image = frozenset(retraction.values())
         current = current.induced_substructure(image)
 
 
-def core_with_witness(structure: Structure) -> tuple[Structure, Dict[Element, Element]]:
-    """Return ``(core, retraction)`` where ``retraction`` maps the structure onto its core."""
+def legacy_core_with_witness(
+    structure: Structure,
+) -> tuple[Structure, Dict[Element, Element]]:
+    """The seed witnessed core computation (per-element retraction searches)."""
     current = structure
     composed: Dict[Element, Element] = {a: a for a in structure.universe}
     while True:
-        retraction = find_proper_retraction(current)
+        retraction = legacy_find_proper_retraction(current)
         if retraction is None:
             return current, composed
         image = frozenset(retraction.values())

@@ -41,6 +41,7 @@ from typing import (
 
 from repro.decomposition.path_decomposition import PathDecomposition
 from repro.decomposition.tree_decomposition import TreeDecomposition
+from repro.homomorphism.obstructions import nullary_obstruction
 from repro.structures.gaifman import gaifman_graph
 from repro.structures.indexes import (
     StructureIndex,
@@ -123,13 +124,10 @@ def _source_atoms(source: Structure) -> List[Atom]:
     return atoms
 
 
-def _nullary_obstruction(source: Structure, target: Structure) -> bool:
-    """Return True when a nullary atom of the source fails in the target."""
-    for symbol in source.vocabulary:
-        if symbol.arity == 0 and source.relation(symbol.name):
-            if not target.relation(symbol.name):
-                return True
-    return False
+# The nullary check is shared with the backtracking and tree-depth
+# solvers; keeping one implementation is what the differential fuzzing
+# harness relies on (every solver rejects the same obstructed inputs).
+_nullary_obstruction = nullary_obstruction
 
 
 def pruned_domains(

@@ -21,6 +21,7 @@ from repro.decomposition.treedepth import EliminationForest, exact_elimination_f
 from repro.exceptions import DecompositionError
 from repro.homomorphism.backtracking import is_partial_homomorphism
 from repro.homomorphism.cores import core as compute_core
+from repro.homomorphism.obstructions import nullary_obstruction
 from repro.structures.gaifman import gaifman_graph
 from repro.structures.structure import Structure
 
@@ -51,9 +52,10 @@ class TreeDepthSolver:
     ) -> None:
         self._original = source
         self._source = compute_core(source) if use_core else source
+        gaifman = gaifman_graph(self._source)
         if forest is None:
-            forest = exact_elimination_forest(gaifman_graph(self._source))
-        if not forest.witnesses(gaifman_graph(self._source)):
+            forest = exact_elimination_forest(gaifman)
+        if not forest.witnesses(gaifman):
             raise DecompositionError(
                 "elimination forest does not witness the (core) source structure"
             )
@@ -75,6 +77,10 @@ class TreeDepthSolver:
     # -- solving -------------------------------------------------------------
     def exists(self, target: Structure) -> bool:
         """Return True when there is a homomorphism from the source into ``target``."""
+        # The recursion walks Gaifman-graph components, so an arity-0 atom
+        # (which touches no element) must be checked before it starts.
+        if nullary_obstruction(self._source, target):
+            return False
         return all(
             self._component_satisfiable(root, target) for root in self._forest.roots
         )
@@ -117,6 +123,8 @@ class TreeDepthSolver:
             raise DecompositionError(
                 "counting requires use_core=False (counts differ on the core)"
             )
+        if nullary_obstruction(self._source, target):
+            return 0
         total = 1
         for root in self._forest.roots:
             component_total = 0

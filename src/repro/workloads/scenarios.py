@@ -23,6 +23,14 @@ scenario               what it stresses
                        easy cores, exercises the treedepth route
 ``mixed_vocabulary``   random queries over five tables and three distinct
                        vocabularies — per-vocabulary target/index sharing
+``folded_cores``       large symmetric trees / undirected paths / even
+                       cycles (10–18 variables) with single-edge cores —
+                       trees and paths fold away, even cycles need one
+                       short search; a pattern scale the seed ``core()``
+                       could not reach
+``rigid_cycles``       odd undirected cycles and long directed paths —
+                       certificate-rigid cores (odd-cycle / AC
+                       certificates), big patterns on the PATH route
 =====================  ====================================================
 
 All randomness flows through an explicit ``random.Random(seed)``; the
@@ -100,6 +108,53 @@ def clique_query(size: int) -> ConjunctiveQuery:
         for j in range(size):
             if i != j:
                 atoms.append(QueryAtom("E", (names[i], names[j])))
+    return ConjunctiveQuery(atoms)
+
+
+def undirected_path_query(length: int) -> ConjunctiveQuery:
+    """The path query with both edge orientations (a symmetric pattern).
+
+    The canonical structure is the undirected path ``P_{length+1}``,
+    which folds to a single symmetric edge — the core engine retracts it
+    in near-linear time where the seed restarted a search per element.
+    """
+    names = _variables(length + 1)
+    atoms = []
+    for i in range(length):
+        atoms.append(QueryAtom("E", (names[i], names[i + 1])))
+        atoms.append(QueryAtom("E", (names[i + 1], names[i])))
+    return ConjunctiveQuery(atoms)
+
+
+def undirected_cycle_query(length: int) -> ConjunctiveQuery:
+    """The cycle query with both edge orientations.
+
+    Even lengths collapse to a single symmetric edge — no vertex of an
+    even cycle is dominated, so the core engine reaches the edge through
+    one short non-surjective-endomorphism search rather than folds.  Odd
+    lengths are their own cores, certified rigid by the engine's
+    odd-cycle certificate.
+    """
+    names = _variables(length)
+    atoms = []
+    for i in range(length):
+        atoms.append(QueryAtom("E", (names[i], names[(i + 1) % length])))
+        atoms.append(QueryAtom("E", (names[(i + 1) % length], names[i])))
+    return ConjunctiveQuery(atoms)
+
+
+def undirected_tree_query(rng: random.Random, variables: int) -> ConjunctiveQuery:
+    """A random tree-shaped query with both orientations per edge.
+
+    The canonical structure is a symmetric tree, whose core is a single
+    symmetric edge reached purely by leaf folds.
+    """
+    names = _variables(max(2, variables))
+    atoms = []
+    for i in range(1, len(names)):
+        parent = names[rng.randrange(0, i)]
+        atoms.append(QueryAtom("E", (parent, names[i])))
+        atoms.append(QueryAtom("E", (names[i], parent)))
     return ConjunctiveQuery(atoms)
 
 
@@ -225,6 +280,38 @@ def _acyclic_random(count: int, seed: int) -> EvalScenario:
     )
 
 
+def _folded_cores(count: int, seed: int) -> EvalScenario:
+    rng = random.Random(seed)
+    shapes = [
+        lambda: undirected_tree_query(rng, rng.randint(10, 16)),
+        lambda: undirected_path_query(rng.randint(10, 18)),
+        lambda: undirected_cycle_query(2 * rng.randint(4, 8)),
+    ]
+    return EvalScenario(
+        "folded_cores",
+        "symmetric trees / long undirected paths (fold to a single edge) "
+        "and even cycles (one short search) — collapsing-core patterns",
+        _shape_pool(rng, count, shapes),
+        grid_database(6, 6),
+    )
+
+
+def _rigid_cycles(count: int, seed: int) -> EvalScenario:
+    rng = random.Random(seed)
+    shapes = [
+        lambda: undirected_cycle_query(2 * rng.randint(3, 6) + 1),
+        lambda: path_query(rng.randint(12, 20)),
+    ]
+    return EvalScenario(
+        "rigid_cycles",
+        "odd undirected cycles (odd-cycle certificate) and long directed "
+        "paths (AC-rigid certificate) — big certified-rigid cores on the "
+        "PATH route",
+        _shape_pool(rng, count, shapes),
+        dense_graph_database(16, edge_probability=0.4, seed=seed),
+    )
+
+
 #: The table layout of :func:`mixed_vocabulary_database`, reused by the
 #: random query generator so generated queries match the schema.
 MIXED_TABLES: Dict[str, int] = {"E": 2, "L": 2, "R": 3, "C1": 1, "C2": 1}
@@ -264,6 +351,8 @@ _SCENARIO_BUILDERS: Dict[str, Callable[[int, int], EvalScenario]] = {
     "cycles_dense": _cycles_dense,
     "acyclic_random": _acyclic_random,
     "mixed_vocabulary": _mixed_vocabulary,
+    "folded_cores": _folded_cores,
+    "rigid_cycles": _rigid_cycles,
 }
 
 

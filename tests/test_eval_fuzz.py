@@ -1,6 +1,6 @@
-"""Differential fuzzing harness for EVAL(Φ).
+"""Differential fuzzing harness for EVAL(Φ) and the solver stack.
 
-Two properties are fuzzed:
+Four properties are fuzzed:
 
 * **parser round-trip** — random conjunctive-query text (random atoms,
   separators, quantifier-prefix spellings, whitespace) must survive
@@ -11,6 +11,13 @@ Two properties are fuzzed:
   sequential reference evaluator and the direct backtracking solver must
   agree; parallel and sequential must agree byte-for-byte on
   ``(query, answer, solver)``.
+* **nullary/empty-relation solver agreement** — on random structure
+  pairs over vocabularies containing arity-0 symbols and empty
+  relations, the backtracking solver, the join engine and the
+  tree-depth recursion must return the same answer (the campaign that
+  originally caught the backtracking solver skipping nullary atoms).
+* **core-engine equivalence** — on ≥100 random structures, the rigidity-
+  certified engine's core must be isomorphic to the seed algorithm's.
 
 The seed is fixed (override with ``REPRO_FUZZ_SEED``) so CI failures are
 reproducible by rerunning with the printed seed.
@@ -24,7 +31,21 @@ import pytest
 from repro.cq import evaluate_query_set_sequential, parse_query
 from repro.eval import EvalService, ExecutorConfig
 from repro.exceptions import FormulaError
-from repro.homomorphism import has_homomorphism
+from repro.homomorphism import (
+    core,
+    has_homomorphism,
+    homomorphism_exists_join,
+    homomorphism_exists_treedepth,
+    legacy_core,
+    nullary_obstruction,
+)
+from repro.structures import Structure, Vocabulary, are_isomorphic
+from repro.structures.builders import graph_structure
+from repro.structures.random_gen import (
+    random_graph_structure,
+    random_structure,
+    random_tree_graph,
+)
 from repro.workloads import (
     MIXED_TABLES,
     dense_graph_database,
@@ -139,3 +160,78 @@ class TestDifferentialEvaluation:
                 assert r_seq.answer == truth, context
                 pairs += 1
         assert pairs >= 100
+
+
+def random_nullary_structure(rng: random.Random, vocabulary: Vocabulary) -> Structure:
+    """A random structure where any relation — nullary included — may be empty."""
+    universe = list(range(rng.randint(2, 5)))
+    relations = {}
+    for symbol in vocabulary:
+        if symbol.arity == 0:
+            relations[symbol.name] = [()] if rng.random() < 0.5 else []
+        else:
+            rows = rng.randint(0, 2 * len(universe))  # 0 → empty relation
+            relations[symbol.name] = {
+                tuple(rng.choice(universe) for _ in range(symbol.arity))
+                for _ in range(rows)
+            }
+    return Structure(vocabulary, universe, relations)
+
+
+class TestNullaryDifferentialFuzz:
+    """Solver agreement on vocabularies with arity-0 and empty relations."""
+
+    def test_backtracking_join_and_treedepth_agree(self):
+        rng = random.Random(FUZZ_SEED)
+        obstructed = 0
+        for trial in range(120):
+            tables = {"E": 2, "U": 1, "Z": 0, "W": 0}
+            if rng.random() < 0.4:
+                tables["R"] = 3
+            vocabulary = Vocabulary(tables)
+            source = random_nullary_structure(rng, vocabulary)
+            target = random_nullary_structure(rng, vocabulary)
+            context = f"seed={FUZZ_SEED} trial={trial} source={source} target={target}"
+            truth = has_homomorphism(source, target)
+            assert homomorphism_exists_join(source, target) == truth, context
+            assert homomorphism_exists_treedepth(source, target) == truth, context
+            if nullary_obstruction(source, target):
+                obstructed += 1
+                assert not truth, context
+        # The generator must actually exercise the obstruction path.
+        assert obstructed >= 10
+
+
+class TestCoreEngineEquivalenceFuzz:
+    """Engine cores are isomorphic to seed-algorithm cores."""
+
+    def test_engine_core_isomorphic_to_legacy_core(self):
+        rng = random.Random(FUZZ_SEED)
+        checked = 0
+        while checked < 104:
+            kind = checked % 4
+            seed = rng.randrange(10**6)
+            if kind == 0:
+                structure = random_graph_structure(
+                    rng.randint(3, 8), rng.uniform(0.1, 0.6), seed=seed
+                )
+            elif kind == 1:
+                structure = graph_structure(
+                    random_tree_graph(rng.randint(2, 10), seed=seed)
+                )
+            elif kind == 2:
+                vocabulary = Vocabulary({"E": 2, "U": 1})
+                structure = random_structure(
+                    vocabulary, rng.randint(2, 6), rng.randint(1, 10), seed=seed
+                )
+            else:
+                vocabulary = Vocabulary({"E": 2, "Z": 0})
+                structure = random_nullary_structure(rng, vocabulary)
+            engine_core = core(structure)
+            seed_core = legacy_core(structure)
+            assert are_isomorphic(engine_core, seed_core), (
+                f"seed={FUZZ_SEED} trial={checked} structure={structure} "
+                f"engine={engine_core} legacy={seed_core}"
+            )
+            checked += 1
+        assert checked >= 100

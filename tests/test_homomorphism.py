@@ -228,3 +228,87 @@ class TestTreeDepthSolver:
     def test_odd_cycle_colouring_behaviour(self):
         assert homomorphism_exists_treedepth(cycle(6), cycle(3))
         assert not homomorphism_exists_treedepth(cycle(5), cycle(4))
+
+    def test_gaifman_graph_built_once(self, monkeypatch):
+        # The constructor needs the Gaifman graph for both the exact
+        # elimination forest and the witness check; it must not be
+        # rebuilt per use.
+        import repro.homomorphism.treedepth_solver as module
+
+        calls = []
+        real = module.gaifman_graph
+
+        def counting_gaifman(structure):
+            calls.append(structure)
+            return real(structure)
+
+        monkeypatch.setattr(module, "gaifman_graph", counting_gaifman)
+        TreeDepthSolver(path(4))
+        assert len(calls) == 1
+
+
+NULLARY_VOCABULARY = Vocabulary({"E": 2, "Z": 0})
+
+
+class TestNullaryAtoms:
+    """A nullary atom of the source failing in the target blocks every solver.
+
+    Regression for the soundness gap the PR-2 differential fuzzing
+    surfaced: the backtracking "ground truth" skipped arity-0
+    constraints entirely, so it disagreed with the join engine on
+    vocabularies with nullary symbols.  The check now lives in
+    ``repro.homomorphism.obstructions`` and every solver applies it.
+    """
+
+    def _pair(self, target_has_nullary: bool):
+        source = Structure(
+            NULLARY_VOCABULARY, [1, 2], {"E": [(1, 2)], "Z": [()]}
+        )
+        target = Structure(
+            NULLARY_VOCABULARY,
+            [1, 2, 3],
+            {"E": [(1, 2), (2, 3)], "Z": [()] if target_has_nullary else []},
+        )
+        return source, target
+
+    def test_all_solvers_reject_obstructed_pair(self):
+        source, target = self._pair(target_has_nullary=False)
+        from repro.homomorphism import (
+            homomorphism_exists_join,
+            nullary_obstruction,
+        )
+
+        assert nullary_obstruction(source, target)
+        assert not has_homomorphism(source, target)
+        assert not has_embedding(source, target)
+        assert count_homomorphisms(source, target) == 0
+        assert enumerate_homomorphisms(source, target) == []
+        assert not homomorphism_exists_join(source, target)
+        assert not homomorphism_exists_treedepth(source, target)
+        assert count_homomorphisms_treedepth(source, target) == 0
+
+    def test_all_solvers_agree_when_target_satisfies_nullary(self):
+        source, target = self._pair(target_has_nullary=True)
+        from repro.homomorphism import (
+            count_homomorphisms_join,
+            homomorphism_exists_join,
+            nullary_obstruction,
+        )
+
+        assert not nullary_obstruction(source, target)
+        assert has_homomorphism(source, target)
+        assert homomorphism_exists_join(source, target)
+        assert homomorphism_exists_treedepth(source, target)
+        assert (
+            count_homomorphisms(source, target)
+            == count_homomorphisms_join(source, target)
+            == count_homomorphisms_treedepth(source, target)
+        )
+
+    def test_empty_source_nullary_relation_is_no_obstruction(self):
+        from repro.homomorphism import nullary_obstruction
+
+        source = Structure(NULLARY_VOCABULARY, [1, 2], {"E": [(1, 2)]})
+        target = Structure(NULLARY_VOCABULARY, [1, 2], {"E": [(1, 2)]})
+        assert not nullary_obstruction(source, target)
+        assert has_homomorphism(source, target)

@@ -196,3 +196,28 @@ class TestDatabaseStatistics:
         assert stats.fan_out["E"] == 0.0
         assert stats.total_tuples == 0
         assert stats.max_fan_out == 1.0
+
+    def test_empty_relations_do_not_deflate_mean_fan_out(self):
+        # A sparse vocabulary: one populated table with fan-out 3, four
+        # uninstantiated ones.  The mean must reflect the populated
+        # relation only — averaging in the 0.0 entries used to report
+        # 0.6 → floored to 1.0, hiding the real branching factor from
+        # cost-mode planning.
+        from repro.structures import Structure, Vocabulary
+
+        vocabulary = Vocabulary({"E": 2, "L": 2, "R": 3, "C1": 1, "C2": 1})
+        structure = Structure(
+            vocabulary, [1, 2, 3, 4], {"E": [(1, 2), (1, 3), (1, 4)]}
+        )
+        stats = DatabaseStatistics.of(structure)
+        assert stats.fan_out["E"] == 3.0
+        assert stats.fan_out["L"] == 0.0
+        assert stats.mean_fan_out == 3.0
+        assert stats.max_fan_out == 3.0
+
+    def test_all_relations_empty_mean_fan_out_floors_at_one(self):
+        from repro.structures import Structure, Vocabulary
+
+        structure = Structure(Vocabulary({"E": 2, "L": 2}), [1, 2], {})
+        stats = DatabaseStatistics.of(structure)
+        assert stats.mean_fan_out == 1.0
