@@ -1,0 +1,77 @@
+"""A small bounded LRU used by the library's memoisation layers.
+
+The profile cache (:mod:`repro.cq.evaluation`), the plan cache
+(:mod:`repro.eval.planner`) and the per-context solved-result cache
+(:mod:`repro.eval.executor`) all want the same thing: a dict with
+recency-ordered eviction at a fixed bound, hit/miss counters, and an
+explicit clear.  Keeping one implementation here keeps the eviction
+semantics (evict the least recently *used* entry once the bound is
+reached) identical everywhere.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Generic, Iterator, Optional, TypeVar
+
+Key = TypeVar("Key")
+Value = TypeVar("Value")
+
+
+class BoundedLRU(Generic[Key, Value]):
+    """A mapping with least-recently-used eviction at a fixed capacity.
+
+    ``get`` refreshes recency; ``put`` inserts (evicting the coldest
+    entry when full) and refreshes recency on overwrite.  Both count
+    into ``hits``/``misses`` via ``get`` only, so the counters reflect
+    lookup traffic, not insertions.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Key, Value]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Key) -> Optional[Value]:
+        """Return the cached value (refreshing recency) or None."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def peek(self, key: Key) -> Optional[Value]:
+        """Return the cached value without touching recency or counters."""
+        return self._entries.get(key)
+
+    def put(self, key: Key, value: Value) -> None:
+        """Insert a value, evicting the least recently used entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self._capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> Dict[str, int]:
+        """Return hit/miss/size counters."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Key]:
+        return iter(self._entries)

@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.classification.degrees import ComplexityDegree, degree_from_width_bounds
-from repro.decomposition.width import width_profile
+from repro.decomposition.treedepth import EliminationForest
+from repro.decomposition.width import width_profile_with_forest
 from repro.exceptions import ClassificationError
 from repro.homomorphism.core_engine import compute_core
 from repro.structures.structure import Structure
@@ -38,6 +39,12 @@ class StructureProfile:
     ``"odd-cycle"``, ``"ac-rigid"``) when classification skipped the
     endomorphism search entirely, or None when the exhaustive
     non-surjective-endomorphism search was needed.
+
+    ``core_elimination_forest`` is the witness behind ``core_treedepth``:
+    an elimination forest of the core's Gaifman graph whose height equals
+    the reported depth (optimal within the treedepth engine's exact
+    window, the heuristic DFS forest beyond it).  The para-L solver route
+    consumes it directly instead of recomputing a forest per solve.
     """
 
     structure: Structure
@@ -46,11 +53,39 @@ class StructureProfile:
     core_pathwidth: int
     core_treedepth: int
     core_certificate: Optional[str] = None
+    core_elimination_forest: Optional[EliminationForest] = None
 
     @property
     def core_size(self) -> int:
         """Number of elements of the core."""
         return len(self.core)
+
+    def core_path_decomposition(self):
+        """A good path decomposition of the core, built once per profile.
+
+        Profiles are shared across a batch (and, through the caches,
+        across batches), so memoising the decomposition here removes a
+        per-solve rebuild from the PATH route — decompositions depend
+        only on the core, exactly like the widths.
+        """
+        cached = getattr(self, "_path_decomposition", None)
+        if cached is None:
+            from repro.decomposition.width import good_path_decomposition
+
+            cached = good_path_decomposition(self.core)
+            self._path_decomposition = cached
+        return cached
+
+    def core_tree_decomposition(self):
+        """A good tree decomposition of the core, built once per profile
+        (the TREE-route sibling of :meth:`core_path_decomposition`)."""
+        cached = getattr(self, "_tree_decomposition", None)
+        if cached is None:
+            from repro.decomposition.width import good_tree_decomposition
+
+            cached = good_tree_decomposition(self.core)
+            self._tree_decomposition = cached
+        return cached
 
 
 @dataclass
@@ -95,7 +130,7 @@ def classify_structure(structure: Structure) -> StructureProfile:
     query patterns the workload scenarios generate.
     """
     computation = compute_core(structure)
-    tw, pw, td = width_profile(computation.core)
+    (tw, pw, td), forest = width_profile_with_forest(computation.core)
     return StructureProfile(
         structure,
         computation.core,
@@ -103,6 +138,7 @@ def classify_structure(structure: Structure) -> StructureProfile:
         pw,
         td,
         core_certificate=computation.certificate,
+        core_elimination_forest=forest,
     )
 
 

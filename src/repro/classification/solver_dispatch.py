@@ -81,6 +81,23 @@ class PlannerConfig:
 DEFAULT_PLANNER_CONFIG = PlannerConfig()
 
 
+@dataclass(frozen=True)
+class SlimSolveResult:
+    """The wire-size-conscious projection of a :class:`SolveResult`.
+
+    Carries the answer and the provenance scalars (solver string, route
+    degree, core certificate tag) but none of the embedded structures —
+    no pattern, no core, no elimination forest.  Pool workers ship these
+    back when the executor runs with ``slim_results=True``, cutting IPC
+    for large batches to a few dozen bytes per query.
+    """
+
+    answer: bool
+    solver: str
+    degree: ComplexityDegree
+    core_certificate: Optional[str] = None
+
+
 @dataclass
 class SolveResult:
     """Answer plus provenance of a dispatched homomorphism query.
@@ -113,6 +130,15 @@ class SolveResult:
     ) -> ComplexityDegree:
         """The threshold classification of the query's core widths."""
         return choose_degree(self.profile, config)
+
+    def slim(self) -> SlimSolveResult:
+        """Project to the IPC-friendly result (drops the profile)."""
+        return SlimSolveResult(
+            answer=self.answer,
+            solver=self.solver,
+            degree=self.degree,
+            core_certificate=self.profile.core_certificate,
+        )
 
 
 def choose_degree(
@@ -153,14 +179,28 @@ def solve_with_degree(
     effective = profile.core if use_core else pattern
 
     if degree is ComplexityDegree.PARA_L:
-        answer = TreeDepthSolver(effective, use_core=False).exists(target)
+        # The profile already carries an elimination forest witnessing the
+        # core's tree depth; handing it over skips a per-solve recomputation
+        # (it only fits when the recursion runs on the core itself).
+        forest = profile.core_elimination_forest if use_core else None
+        answer = TreeDepthSolver(effective, forest=forest, use_core=False).exists(target)
         solver = "treedepth-recursion (Lemma 3.3)"
     elif degree is ComplexityDegree.PATH_COMPLETE:
-        decomposition = good_path_decomposition(effective)
+        # Decompositions depend only on the (core) structure, so repeated
+        # solves against different targets reuse the profile's memoised one.
+        decomposition = (
+            profile.core_path_decomposition()
+            if use_core
+            else good_path_decomposition(effective)
+        )
         answer = bool(run_path_sweep(effective, target, decomposition, BOOLEAN))
         solver = "semiring join engine, path sweep (Theorem 4.6)"
     elif degree is ComplexityDegree.TREE_COMPLETE:
-        decomposition = good_tree_decomposition(effective)
+        decomposition = (
+            profile.core_tree_decomposition()
+            if use_core
+            else good_tree_decomposition(effective)
+        )
         answer = bool(run_decomposition_dp(effective, target, decomposition, BOOLEAN))
         solver = "semiring join engine, tree-decomposition DP (Lemma 3.4)"
     else:

@@ -25,8 +25,9 @@ service (and its tests) are measured against.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.caching import BoundedLRU
 
 from repro.classification.classifier import (
     ClassificationReport,
@@ -47,20 +48,28 @@ if TYPE_CHECKING:  # pragma: no cover — import cycle guard, types only
 #: hashable) canonical structure.  Classification dominates repeated
 #: EVAL(Φ) runs — the answer only depends on the structure, so it is safe
 #: to share across calls.
-_PROFILE_CACHE: "OrderedDict[Structure, StructureProfile]" = OrderedDict()
 _PROFILE_CACHE_LIMIT = 256
+_PROFILE_CACHE: "BoundedLRU[Structure, StructureProfile]" = BoundedLRU(
+    _PROFILE_CACHE_LIMIT
+)
 
 
 def _cached_profile(pattern: Structure) -> StructureProfile:
     profile = _PROFILE_CACHE.get(pattern)
     if profile is None:
         profile = classify_structure(pattern)
-        if len(_PROFILE_CACHE) >= _PROFILE_CACHE_LIMIT:
-            _PROFILE_CACHE.popitem(last=False)
-        _PROFILE_CACHE[pattern] = profile
-    else:
-        _PROFILE_CACHE.move_to_end(pattern)
+        _PROFILE_CACHE.put(pattern, profile)
     return profile
+
+
+def peek_cached_profile(pattern: Structure) -> Optional[StructureProfile]:
+    """Return the cached profile without classifying on a miss.
+
+    For callers — like the adaptive executor's cutover check — that can
+    use a profile when one happens to exist but must not pay for
+    classification speculatively.
+    """
+    return _PROFILE_CACHE.peek(pattern)
 
 
 def clear_profile_cache() -> None:

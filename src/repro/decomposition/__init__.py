@@ -35,12 +35,24 @@ from repro.decomposition.treedepth import (
     dfs_elimination_forest,
     exact_elimination_forest,
     exact_treedepth,
+    legacy_exact_elimination_forest,
+    legacy_exact_treedepth,
     treedepth_upper_bound,
+)
+from repro.decomposition.treedepth_engine import (
+    TreedepthEngine,
+    TreedepthResult,
+    compute_treedepth,
+    engine_elimination_forest,
+    engine_treedepth,
+    recognized_treedepth,
 )
 from repro.decomposition.width import (
     EXACT_SIZE_LIMIT,
+    TREEDEPTH_EXACT_SIZE_LIMIT,
     good_path_decomposition,
     good_tree_decomposition,
+    graph_elimination_forest,
     graph_pathwidth,
     graph_treedepth,
     graph_treewidth,
@@ -51,6 +63,7 @@ from repro.decomposition.width import (
     treedepth,
     treewidth,
     width_profile,
+    width_profile_with_forest,
 )
 
 __all__ = [
@@ -67,7 +80,15 @@ __all__ = [
     "exact_elimination_forest",
     "dfs_elimination_forest",
     "exact_treedepth",
+    "legacy_exact_treedepth",
+    "legacy_exact_elimination_forest",
     "treedepth_upper_bound",
+    "TreedepthEngine",
+    "TreedepthResult",
+    "compute_treedepth",
+    "engine_treedepth",
+    "engine_elimination_forest",
+    "recognized_treedepth",
     "exact_treewidth",
     "exact_treewidth_ordering",
     "exact_pathwidth",
@@ -83,11 +104,14 @@ __all__ = [
     "graph_treewidth",
     "graph_pathwidth",
     "graph_treedepth",
+    "graph_elimination_forest",
     "optimal_tree_decomposition",
     "optimal_path_decomposition",
     "optimal_elimination_forest",
     "good_tree_decomposition",
     "good_path_decomposition",
     "width_profile",
+    "width_profile_with_forest",
     "EXACT_SIZE_LIMIT",
+    "TREEDEPTH_EXACT_SIZE_LIMIT",
 ]

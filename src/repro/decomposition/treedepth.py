@@ -135,7 +135,39 @@ def _exact_treedepth(
 
 
 def exact_treedepth(graph: Graph) -> int:
-    """Return the exact tree depth of ``graph``."""
+    """Return the exact tree depth of ``graph``.
+
+    Delegates to the branch-and-bound engine of
+    :mod:`repro.decomposition.treedepth_engine`, which replaces the seed
+    subset recursion (kept as :func:`legacy_exact_treedepth`) as the
+    default solver — same answers, pruned search.
+    """
+    from repro.decomposition.treedepth_engine import engine_treedepth
+
+    return engine_treedepth(graph)
+
+
+def exact_elimination_forest(graph: Graph) -> EliminationForest:
+    """Return an optimal elimination forest (height = exact tree depth).
+
+    Delegates to the branch-and-bound engine; the witness is verified
+    against the graph before it is returned (the engine raises otherwise).
+    The seed construction survives as
+    :func:`legacy_exact_elimination_forest`.
+    """
+    from repro.decomposition.treedepth_engine import engine_elimination_forest
+
+    return engine_elimination_forest(graph)
+
+
+def legacy_exact_treedepth(graph: Graph) -> int:
+    """The seed exact tree depth (subset recursion); reference only.
+
+    Exponential in a way the engine is not (it tries every vertex of
+    every connected induced subgraph it meets, rebuilding ``Graph``
+    objects as it goes); kept verbatim as the differential-testing
+    baseline for ``treedepth_engine`` and ``benchmarks/bench_treedepth.py``.
+    """
     if len(graph) == 0:
         raise DecompositionError("tree depth of the empty graph is undefined")
     memo: Dict[FrozenSet[Vertex], Tuple[int, Optional[Vertex]]] = {}
@@ -143,8 +175,8 @@ def exact_treedepth(graph: Graph) -> int:
     return value
 
 
-def exact_elimination_forest(graph: Graph) -> EliminationForest:
-    """Return an optimal elimination forest (height = exact tree depth)."""
+def legacy_exact_elimination_forest(graph: Graph) -> EliminationForest:
+    """The seed optimal elimination forest construction; reference only."""
     if len(graph) == 0:
         raise DecompositionError("tree depth of the empty graph is undefined")
     memo: Dict[FrozenSet[Vertex], Tuple[int, Optional[Vertex]]] = {}

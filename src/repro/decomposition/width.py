@@ -31,10 +31,12 @@ from repro.decomposition.path_decomposition import (
 from repro.decomposition.tree_decomposition import TreeDecomposition
 from repro.decomposition.treedepth import (
     EliminationForest,
+    dfs_elimination_forest,
     exact_elimination_forest,
     exact_treedepth,
     treedepth_upper_bound,
 )
+from repro.decomposition.treedepth_engine import recognized_treedepth
 from repro.graphlib.graph import Graph
 from repro.structures.gaifman import gaifman_graph
 from repro.structures.structure import Structure
@@ -44,6 +46,15 @@ from repro.structures.structure import Structure
 #: subsets) keeps them interactive while covering every parameter-sized
 #: pattern the tests and benchmarks use.
 EXACT_SIZE_LIMIT = 12
+
+#: Tree depth keeps exactness further out: the branch-and-bound engine of
+#: :mod:`repro.decomposition.treedepth_engine` handles the 13–25 element
+#: Gaifman graphs of the big rigid cores (odd cycles, long directed paths,
+#: folded grids) that the subset DPs could not reach.  Beyond the limit the
+#: facade still answers exactly when every component is a recognised
+#: closed-form shape (path / cycle / clique) — that is what keeps P30-scale
+#: cores classified by depth instead of by the trivial DFS bound.
+TREEDEPTH_EXACT_SIZE_LIMIT = 25
 
 
 def treewidth(structure: Structure, exact: bool | None = None) -> int:
@@ -89,12 +100,34 @@ def treedepth(structure: Structure, exact: bool | None = None) -> int:
 
 
 def graph_treedepth(graph: Graph, exact: bool | None = None) -> int:
-    """Tree depth of a graph, exact or heuristic."""
+    """Tree depth of a graph: exact through the branch-and-bound engine up
+    to :data:`TREEDEPTH_EXACT_SIZE_LIMIT` vertices (and at any size for
+    recognised closed-form shapes), DFS-height upper bound beyond."""
     if exact is None:
-        exact = len(graph) <= EXACT_SIZE_LIMIT
+        if len(graph) <= TREEDEPTH_EXACT_SIZE_LIMIT:
+            exact = True
+        else:
+            recognised = recognized_treedepth(graph)
+            if recognised is not None:
+                return recognised
+            exact = False
     if exact:
         return exact_treedepth(graph)
     return treedepth_upper_bound(graph)
+
+
+def graph_elimination_forest(graph: Graph, exact: bool | None = None) -> EliminationForest:
+    """An elimination forest of a graph under the same exactness policy as
+    :func:`graph_treedepth`: height-optimal (engine witness) within the
+    exact window or for recognised shapes, DFS forest beyond."""
+    if exact is None:
+        exact = (
+            len(graph) <= TREEDEPTH_EXACT_SIZE_LIMIT
+            or recognized_treedepth(graph) is not None
+        )
+    if exact:
+        return exact_elimination_forest(graph)
+    return dfs_elimination_forest(graph)
 
 
 def optimal_tree_decomposition(structure: Structure) -> TreeDecomposition:
@@ -141,11 +174,33 @@ def width_profile(structure: Structure, exact: bool | None = None) -> Tuple[int,
 
     Exact for Gaifman graphs of at most :data:`EXACT_SIZE_LIMIT` vertices
     (or when ``exact=True`` is forced), heuristic upper bounds beyond that
-    — the same policy as the individual facade functions.
+    — the same policy as the individual facade functions.  Tree depth
+    keeps its wider exact window (:data:`TREEDEPTH_EXACT_SIZE_LIMIT`).
+    """
+    profile, _ = width_profile_with_forest(structure, exact)
+    return profile
+
+
+def width_profile_with_forest(
+    structure: Structure, exact: bool | None = None
+) -> Tuple[Tuple[int, int, int], EliminationForest]:
+    """Return the width profile plus the elimination forest witnessing the
+    tree depth entry.
+
+    The forest is the engine's optimal witness within the exact window
+    (its height *is* the reported tree depth) and the heuristic DFS forest
+    beyond; either way ``forest.witnesses(gaifman_graph(structure))``
+    holds, so callers — the classifier stores it on
+    :class:`~repro.classification.classifier.StructureProfile` — can hand
+    it straight to the para-L solver instead of recomputing one.
     """
     graph = gaifman_graph(structure)
+    forest = graph_elimination_forest(graph, exact)
     return (
-        graph_treewidth(graph, exact),
-        graph_pathwidth(graph, exact),
-        graph_treedepth(graph, exact),
+        (
+            graph_treewidth(graph, exact),
+            graph_pathwidth(graph, exact),
+            forest.height(),
+        ),
+        forest,
     )

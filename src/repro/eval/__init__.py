@@ -13,13 +13,18 @@ package; the pieces are exported here for direct use.
 from repro.classification.solver_dispatch import (
     DEFAULT_PLANNER_CONFIG,
     PlannerConfig,
+    SlimSolveResult,
 )
 from repro.eval.executor import EvalService, ExecutorConfig
 from repro.eval.planner import (
     COST_CAP,
     QueryPlan,
+    clear_plan_cache,
+    conservative_cost_estimate,
     estimate_route_costs,
+    plan_cache_info,
     plan_query,
+    plan_query_cached,
 )
 from repro.eval.stats import DatabaseStatistics
 
@@ -27,9 +32,14 @@ __all__ = [
     "DatabaseStatistics",
     "PlannerConfig",
     "DEFAULT_PLANNER_CONFIG",
+    "SlimSolveResult",
     "QueryPlan",
     "plan_query",
+    "plan_query_cached",
+    "plan_cache_info",
+    "clear_plan_cache",
     "estimate_route_costs",
+    "conservative_cost_estimate",
     "COST_CAP",
     "EvalService",
     "ExecutorConfig",

@@ -30,23 +30,38 @@ from __future__ import annotations
 import os
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
+from itertools import chain, islice
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.caching import BoundedLRU
 from repro.classification.classifier import StructureProfile, classify_structure
 from repro.classification.solver_dispatch import (
     DEFAULT_PLANNER_CONFIG,
     PlannerConfig,
+    SlimSolveResult,
     SolveResult,
     solve_with_degree,
 )
 from repro.cq.database import Database
 from repro.cq.query import ConjunctiveQuery
-from repro.eval.planner import QueryPlan, plan_query
+from repro.eval.planner import (
+    QueryPlan,
+    conservative_cost_estimate,
+    plan_query_cached,
+)
 from repro.eval.stats import DatabaseStatistics
 from repro.structures.structure import Structure
 from repro.structures.vocabulary import Vocabulary
 
 DatabaseLike = Union[Database, Structure]
+
+AnySolveResult = Union[SolveResult, SlimSolveResult]
+
+#: Bound of the per-context memoised-result cache (see
+#: :class:`_EvaluationContext`).  4096 distinct (pattern, vocabulary)
+#: pairs comfortably covers a hot working set while keeping the worst
+#: case at a few thousand small result objects per worker.
+_SOLVED_CACHE_LIMIT = 4096
 
 
 @dataclass(frozen=True)
@@ -59,12 +74,31 @@ class ExecutorConfig:
     start-up costs more than a handful of queries.  ``inflight_factor``
     bounds the submission window to ``workers · inflight_factor`` chunks,
     which is what keeps streaming over huge batches memory-bounded.
+
+    ``adaptive=True`` (the default) lets the service cut over to the
+    in-process path even when workers are configured: on a single-CPU
+    machine process fan-out can only lose, and when the planner's
+    estimated cost for a chunk of queries stays below
+    ``spawn_cost_threshold`` (cost-model units — elementary extension
+    steps) the work is cheaper than shipping it.  The decision samples
+    the first ``adaptive_sample`` queries of the batch; the service
+    records the outcome in :attr:`EvalService.last_mode`.
+
+    ``slim_results=True`` makes evaluation return
+    :class:`~repro.classification.solver_dispatch.SlimSolveResult`
+    projections instead of full results — pool workers then ship a few
+    scalars per query back to the parent instead of the profile with its
+    embedded structures (ROADMAP: "leaner result shipping").
     """
 
     workers: Optional[int] = None
     chunk_size: int = 16
     min_parallel_batch: int = 32
     inflight_factor: int = 4
+    adaptive: bool = True
+    spawn_cost_threshold: float = 250_000.0
+    adaptive_sample: int = 8
+    slim_results: bool = False
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 0:
@@ -73,6 +107,10 @@ class ExecutorConfig:
             raise ValueError("chunk_size must be at least 1")
         if self.inflight_factor < 1:
             raise ValueError("inflight_factor must be at least 1")
+        if self.adaptive_sample < 1:
+            raise ValueError("adaptive_sample must be at least 1")
+        if self.spawn_cost_threshold < 0:
+            raise ValueError("spawn_cost_threshold must be non-negative")
 
     def effective_workers(self) -> int:
         """The worker count after resolving ``None`` against the CPU count."""
@@ -100,13 +138,25 @@ class _EvaluationContext:
         database: DatabaseLike,
         config: PlannerConfig,
         use_cache: bool,
+        slim: bool = False,
     ) -> None:
         self.database = database
         self.config = config
         self.use_cache = use_cache
+        self.slim = slim
         self.targets: Dict[Vocabulary, Structure] = {}
         self.stats: Dict[Vocabulary, DatabaseStatistics] = {}
         self.local_profiles: Dict[Structure, StructureProfile] = {}
+        #: Memoised results keyed by (canonical pattern, vocabulary).  The
+        #: context is bound to one database, so the answer — and, with the
+        #: planner config fixed per context, the route and provenance —
+        #: is a pure function of that key; duplicated queries (batches
+        #: sampled from shape generators repeat patterns constantly) pay
+        #: for one solve.  Bounded so a streaming workload over endless
+        #: distinct patterns cannot grow it without limit.
+        self.solved: "BoundedLRU[Tuple[Structure, Vocabulary], AnySolveResult]" = (
+            BoundedLRU(_SOLVED_CACHE_LIMIT)
+        )
 
     def target_for(self, vocabulary: Vocabulary) -> Structure:
         target = self.targets.get(vocabulary)
@@ -146,19 +196,53 @@ class _EvaluationContext:
             if self.config.mode == "cost"
             else None
         )
-        return plan_query(profile, stats, self.config)
+        return plan_query_cached(profile, stats, self.config)
 
-    def solve(self, query: ConjunctiveQuery) -> SolveResult:
+    def profile_if_cached(self, pattern: Structure) -> Optional[StructureProfile]:
+        """An already-computed profile for ``pattern``, or None — never classifies."""
+        if self.use_cache:
+            from repro.cq.evaluation import peek_cached_profile
+
+            return peek_cached_profile(pattern)
+        return self.local_profiles.get(pattern)
+
+    def estimated_cost(self, query: ConjunctiveQuery) -> float:
+        """A work estimate for one query, without speculative classification.
+
+        When the pattern's profile is already cached the planner's route
+        estimate is used (statistics are consulted even in threshold
+        mode).  Otherwise the profile-free conservative overestimate
+        stands in: classifying head patterns in the parent just to make
+        the cutover decision would duplicate work the pool workers redo
+        anyway whenever the verdict is "parallel".
+        """
         pattern = query.canonical_structure()
-        target = self.target_for(query.vocabulary())
+        stats = self.stats_for(query.vocabulary())
+        profile = self.profile_if_cached(pattern)
+        if profile is not None:
+            return plan_query_cached(profile, stats, self.config).cost
+        return conservative_cost_estimate(len(pattern), stats, self.config)
+
+    def solve(self, query: ConjunctiveQuery) -> AnySolveResult:
+        pattern = query.canonical_structure()
+        vocabulary = query.vocabulary()
+        key = (pattern, vocabulary)
+        memoised = self.solved.get(key)
+        if memoised is not None:
+            return memoised
+        target = self.target_for(vocabulary)
         profile = self.profile_for(pattern)
         stats = (
-            self.stats_for(query.vocabulary())
+            self.stats_for(vocabulary)
             if self.config.mode == "cost"
             else None
         )
-        plan = plan_query(profile, stats, self.config)
-        return solve_with_degree(pattern, target, plan.degree, profile)
+        plan = plan_query_cached(profile, stats, self.config)
+        result = solve_with_degree(pattern, target, plan.degree, profile)
+        if self.slim:
+            result = result.slim()
+        self.solved.put(key, result)
+        return result
 
 
 #: The worker-process context, installed by :func:`_initialize_worker` at
@@ -167,14 +251,19 @@ _WORKER_CONTEXT: Optional[_EvaluationContext] = None
 
 
 def _initialize_worker(
-    database: DatabaseLike, config: PlannerConfig, use_cache: bool
+    database: DatabaseLike, config: PlannerConfig, use_cache: bool, slim: bool
 ) -> None:
     global _WORKER_CONTEXT
-    _WORKER_CONTEXT = _EvaluationContext(database, config, use_cache)
+    _WORKER_CONTEXT = _EvaluationContext(database, config, use_cache, slim)
 
 
-def _evaluate_chunk(queries: Tuple[ConjunctiveQuery, ...]) -> List[SolveResult]:
-    """The picklable work unit: evaluate one chunk in the worker's context."""
+def _evaluate_chunk(queries: Tuple[ConjunctiveQuery, ...]) -> List[AnySolveResult]:
+    """The picklable work unit: evaluate one chunk in the worker's context.
+
+    With ``slim_results`` configured the worker projects each result
+    before it crosses the process boundary, so the parent never pays for
+    unpickling profiles it does not want.
+    """
     if _WORKER_CONTEXT is None:  # pragma: no cover — initializer always ran
         raise RuntimeError("worker used before initialisation")
     return [_WORKER_CONTEXT.solve(query) for query in queries]
@@ -213,11 +302,19 @@ class EvalService:
         self._planner = planner if planner is not None else DEFAULT_PLANNER_CONFIG
         self._executor = executor if executor is not None else ExecutorConfig()
         self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_use_cache: Optional[bool] = None
+        self._pool_key: Optional[Tuple[bool, bool]] = None
         #: Parent-side contexts for plan()/statistics(), keyed by the
         #: use_cache flag — kept so repeated introspection amortises the
         #: database→structure conversions and statistics like a batch does.
         self._introspection: Dict[bool, _EvaluationContext] = {}
+        #: The persistent in-process evaluation context (see
+        #: :meth:`_evaluate_sequential`); created on first use.
+        self._sequential_contexts: Dict[bool, _EvaluationContext] = {}
+        #: How the most recent evaluate()/evaluate_stream() call actually
+        #: ran — "sequential" or "parallel" — and why.  Benchmarks record
+        #: this next to their timings so a cutover is visible in the report.
+        self.last_mode: Optional[str] = None
+        self.last_mode_reason: Optional[str] = None
 
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:
@@ -225,7 +322,7 @@ class EvalService:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-            self._pool_use_cache = None
+            self._pool_key = None
 
     def __enter__(self) -> "EvalService":
         return self
@@ -264,7 +361,7 @@ class EvalService:
         self,
         queries: Sequence[ConjunctiveQuery],
         use_cache: bool = True,
-    ) -> List[Tuple[ConjunctiveQuery, SolveResult]]:
+    ) -> List[Tuple[ConjunctiveQuery, AnySolveResult]]:
         """Evaluate a whole batch; the materialised form of the stream.
 
         Small batches (shorter than the executor's ``min_parallel_batch``)
@@ -272,6 +369,7 @@ class EvalService:
         """
         workers = self._executor.effective_workers()
         if workers > 1 and len(queries) < self._executor.min_parallel_batch:
+            self._record_mode("sequential", "batch below min_parallel_batch")
             return list(self._evaluate_sequential(queries, use_cache))
         return list(self.evaluate_stream(queries, use_cache=use_cache))
 
@@ -279,32 +377,105 @@ class EvalService:
         self,
         queries: Iterable[ConjunctiveQuery],
         use_cache: bool = True,
-    ) -> Iterator[Tuple[ConjunctiveQuery, SolveResult]]:
+    ) -> Iterator[Tuple[ConjunctiveQuery, AnySolveResult]]:
         """Yield ``(query, SolveResult)`` pairs in input order.
 
         The input may be an arbitrary (even unbounded) iterable; at most
         ``workers · inflight_factor`` chunks are in flight at any moment,
         so memory stays proportional to the window, not the batch.
+
+        With ``adaptive`` enabled (the default) the service may decide,
+        from the CPU count and the planner's cost estimates over a small
+        head sample, that process fan-out would cost more than the work
+        itself and run the whole batch in-process instead; the decision
+        is recorded in :attr:`last_mode` / :attr:`last_mode_reason`.
         """
         if self._executor.effective_workers() <= 1:
+            self._record_mode("sequential", "workers <= 1")
             yield from self._evaluate_sequential(queries, use_cache)
             return
-        yield from self._evaluate_parallel(queries, use_cache)
+        if not self._executor.adaptive:
+            self._record_mode("parallel", "adaptive cutover disabled")
+            yield from self._evaluate_parallel(queries, use_cache)
+            return
+        query_iterator = iter(queries)
+        head = list(islice(query_iterator, self._executor.adaptive_sample))
+        if not head:
+            self._record_mode("sequential", "empty batch")
+            return
+        rest = chain(head, query_iterator)
+        cutover_reason = self._adaptive_cutover_reason(head, use_cache)
+        if cutover_reason is not None:
+            self._record_mode("sequential", cutover_reason)
+            yield from self._evaluate_sequential(rest, use_cache)
+            return
+        self._record_mode("parallel", "chunk cost above spawn threshold")
+        yield from self._evaluate_parallel(rest, use_cache)
+
+    def _record_mode(self, mode: str, reason: str) -> None:
+        self.last_mode = mode
+        self.last_mode_reason = reason
+
+    def _adaptive_cutover_reason(
+        self, head: Sequence[ConjunctiveQuery], use_cache: bool
+    ) -> Optional[str]:
+        """Why this batch should stay in-process, or None to go parallel.
+
+        Two cutovers: a single visible CPU (fan-out can only add IPC on
+        top of the same core), and an estimated per-chunk cost below the
+        spawn-overhead threshold (the planner's estimates over the head
+        sample, scaled to a chunk — cheap queries lose more to pickling
+        and scheduling than their evaluation costs).
+        """
+        if (os.cpu_count() or 1) <= 1:
+            return "single CPU"
+        context = self._introspection_context(use_cache)
+        total = 0.0
+        for query in head:
+            total += context.estimated_cost(query)
+        mean_cost = total / len(head)
+        chunk_cost = mean_cost * self._executor.chunk_size
+        if chunk_cost < self._executor.spawn_cost_threshold:
+            return (
+                f"estimated chunk cost {chunk_cost:.0f} below spawn "
+                f"threshold {self._executor.spawn_cost_threshold:.0f}"
+            )
+        return None
 
     # -- the two paths ------------------------------------------------------
     def _evaluate_sequential(
         self, queries: Iterable[ConjunctiveQuery], use_cache: bool
-    ) -> Iterator[Tuple[ConjunctiveQuery, SolveResult]]:
-        # A fresh context per batch mirrors the reference path: targets are
-        # shared within the batch, profiles within the batch and (when
-        # caching) across calls through the bounded LRU.
-        context = _EvaluationContext(self._database, self._planner, use_cache)
+    ) -> Iterator[Tuple[ConjunctiveQuery, AnySolveResult]]:
+        # With the cross-call cache enabled the service context persists
+        # across batches, exactly like a worker process does: targets,
+        # their hash indexes and database statistics are built once per
+        # vocabulary for the service's lifetime (this is what lets the
+        # adaptive in-process path beat the batch-scoped reference
+        # evaluator on repeated calls).  ``use_cache=False`` keeps the
+        # batch-scoped context so profile sharing stays per batch, as that
+        # flag promises.  Slim projection applies here too, so a cutover
+        # returns the same result shape the pool would have.
+        if use_cache:
+            context = self._sequential_context(True)
+        else:
+            context = _EvaluationContext(
+                self._database, self._planner, False, self._executor.slim_results
+            )
         for query in queries:
             yield query, context.solve(query)
 
+    def _sequential_context(self, use_cache: bool) -> _EvaluationContext:
+        context = self._sequential_contexts.get(use_cache)
+        if context is None:
+            context = _EvaluationContext(
+                self._database, self._planner, use_cache, self._executor.slim_results
+            )
+            self._sequential_contexts[use_cache] = context
+        return context
+
     def _evaluate_parallel(
         self, queries: Iterable[ConjunctiveQuery], use_cache: bool
-    ) -> Iterator[Tuple[ConjunctiveQuery, SolveResult]]:
+    ) -> Iterator[Tuple[ConjunctiveQuery, AnySolveResult]]:
         pool = self._ensure_pool(use_cache)
         window = self._executor.effective_workers() * self._executor.inflight_factor
         chunk_iterator = _chunks(queries, self._executor.chunk_size)
@@ -330,13 +501,19 @@ class EvalService:
             yield from zip(chunk, results)
 
     def _ensure_pool(self, use_cache: bool) -> ProcessPoolExecutor:
-        if self._pool is not None and self._pool_use_cache != use_cache:
+        key = (use_cache, self._executor.slim_results)
+        if self._pool is not None and self._pool_key != key:
             self.close()
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
                 max_workers=self._executor.effective_workers(),
                 initializer=_initialize_worker,
-                initargs=(self._database, self._planner, use_cache),
+                initargs=(
+                    self._database,
+                    self._planner,
+                    use_cache,
+                    self._executor.slim_results,
+                ),
             )
-            self._pool_use_cache = use_cache
+            self._pool_key = key
         return self._pool

@@ -39,8 +39,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
+from repro.caching import BoundedLRU
 from repro.classification.classifier import StructureProfile
 from repro.classification.degrees import ComplexityDegree
 from repro.classification.solver_dispatch import (
@@ -116,6 +117,28 @@ def estimate_route_costs(
     }
 
 
+def conservative_cost_estimate(
+    pattern_size: int,
+    stats: DatabaseStatistics,
+    config: PlannerConfig = DEFAULT_PLANNER_CONFIG,
+) -> float:
+    """A profile-free overestimate of a query's evaluation cost.
+
+    The backtracking model with the whole pattern as the core
+    (``n · b^(k−1)``) dominates every route's estimate for the same
+    ``k``, so this is safe to use where no classification profile is
+    available yet — the adaptive executor's cutover check, which must
+    not classify patterns in the parent just to decide where the workers
+    (who would redo that work) should run.  Erring high only ever pushes
+    work towards the pool.
+    """
+    n = max(1, stats.universe_size)
+    branching = max(1.0, min(float(n), stats.mean_fan_out))
+    return _powcost(
+        config.backtracking_cost_weight, n, branching, max(0, pattern_size - 1)
+    )
+
+
 def plan_query(
     profile: StructureProfile,
     stats: Optional[DatabaseStatistics] = None,
@@ -145,3 +168,50 @@ def plan_query(
         estimates=estimates,
         mode=config.mode,
     )
+
+
+# ---------------------------------------------------------------------------
+# plan cache
+# ---------------------------------------------------------------------------
+
+#: Bounded LRU of query plans.  In cost mode the plan depends on the
+#: (pattern, database statistics, config) triple; keying on the statistics
+#: *fingerprint* instead of the object identity means a long-running
+#: service re-planning the same pattern against an unchanged vocabulary
+#: hits the cache even across fresh :class:`DatabaseStatistics` instances.
+_PLAN_CACHE_LIMIT = 512
+_PLAN_CACHE: "BoundedLRU[Tuple, QueryPlan]" = BoundedLRU(_PLAN_CACHE_LIMIT)
+
+
+def plan_query_cached(
+    profile: StructureProfile,
+    stats: Optional[DatabaseStatistics] = None,
+    config: PlannerConfig = DEFAULT_PLANNER_CONFIG,
+) -> QueryPlan:
+    """LRU-cached :func:`plan_query`.
+
+    The key is ``(pattern, stats fingerprint, config)`` — the pattern
+    structure determines the profile (profiles are deterministic per
+    structure), so two calls with equal keys would have produced equal
+    plans.  Plans are immutable, so sharing the object is safe.
+    """
+    key = (
+        profile.structure,
+        None if stats is None else stats.fingerprint(),
+        config,
+    )
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        plan = plan_query(profile, stats, config)
+        _PLAN_CACHE.put(key, plan)
+    return plan
+
+
+def plan_cache_info() -> Dict[str, int]:
+    """Return hit/miss/size counters of the plan cache."""
+    return _PLAN_CACHE.info()
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached plans and reset the counters (mainly for tests)."""
+    _PLAN_CACHE.clear()

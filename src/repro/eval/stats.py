@@ -44,6 +44,20 @@ class DatabaseStatistics:
     relation_sizes: Mapping[str, int] = field(default_factory=dict)
     fan_out: Mapping[str, float] = field(default_factory=dict)
 
+    def fingerprint(self) -> tuple:
+        """A hashable digest of the statistics, for plan-cache keys.
+
+        Two targets with equal fingerprints are indistinguishable to the
+        cost model (same universe size, same per-relation sizes and
+        fan-outs), so a plan computed against one is valid for the other.
+        """
+        return (
+            self.universe_size,
+            self.total_tuples,
+            tuple(sorted(self.relation_sizes.items())),
+            tuple(sorted((name, round(value, 9)) for name, value in self.fan_out.items())),
+        )
+
     @property
     def max_fan_out(self) -> float:
         """The largest per-relation fan-out (at least 1.0)."""

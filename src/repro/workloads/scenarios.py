@@ -31,6 +31,11 @@ scenario               what it stresses
 ``rigid_cycles``       odd undirected cycles and long directed paths —
                        certificate-rigid cores (odd-cycle / AC
                        certificates), big patterns on the PATH route
+``deep_cores``         13–25-variable rigid cores (odd cycles C13–C25,
+                       directed paths P13–P30) plus folded grid queries —
+                       the scale where exact treedepth used to fall back
+                       to the trivial DFS bound; exercises the
+                       branch-and-bound treedepth engine end to end
 =====================  ====================================================
 
 All randomness flows through an explicit ``random.Random(seed)``; the
@@ -155,6 +160,26 @@ def undirected_tree_query(rng: random.Random, variables: int) -> ConjunctiveQuer
         parent = names[rng.randrange(0, i)]
         atoms.append(QueryAtom("E", (parent, names[i])))
         atoms.append(QueryAtom("E", (names[i], parent)))
+    return ConjunctiveQuery(atoms)
+
+
+def grid_query(rows: int, cols: int) -> ConjunctiveQuery:
+    """The ``rows × cols`` grid query with both edge orientations.
+
+    The canonical structure is the symmetric grid — bipartite, so it
+    folds all the way down to a single symmetric edge.  At 15–24
+    variables these are the "folded grids" of the deep-core workloads:
+    big patterns whose classification cost is all fold propagation, with
+    a trivial two-element core at the end.
+    """
+    names = [[f"g{r}_{c}" for c in range(cols)] for r in range(rows)]
+    atoms = []
+    for r in range(rows):
+        for c in range(cols):
+            for other in ((r + 1, c), (r, c + 1)):
+                if other[0] < rows and other[1] < cols:
+                    atoms.append(QueryAtom("E", (names[r][c], names[other[0]][other[1]])))
+                    atoms.append(QueryAtom("E", (names[other[0]][other[1]], names[r][c])))
     return ConjunctiveQuery(atoms)
 
 
@@ -312,6 +337,23 @@ def _rigid_cycles(count: int, seed: int) -> EvalScenario:
     )
 
 
+def _deep_cores(count: int, seed: int) -> EvalScenario:
+    rng = random.Random(seed)
+    shapes = [
+        lambda: undirected_cycle_query(2 * rng.randint(6, 12) + 1),  # C13..C25
+        lambda: path_query(rng.randint(12, 29)),                     # P13..P30
+        lambda: grid_query(3, rng.randint(5, 8)),                    # 15–24 vars
+    ]
+    return EvalScenario(
+        "deep_cores",
+        "13–25-variable rigid cores (odd cycles, long directed paths) and "
+        "folded grid queries — exact treedepth at the scale the subset DP "
+        "could not reach",
+        _shape_pool(rng, count, shapes),
+        dense_graph_database(16, edge_probability=0.4, seed=seed),
+    )
+
+
 #: The table layout of :func:`mixed_vocabulary_database`, reused by the
 #: random query generator so generated queries match the schema.
 MIXED_TABLES: Dict[str, int] = {"E": 2, "L": 2, "R": 3, "C1": 1, "C2": 1}
@@ -353,6 +395,7 @@ _SCENARIO_BUILDERS: Dict[str, Callable[[int, int], EvalScenario]] = {
     "mixed_vocabulary": _mixed_vocabulary,
     "folded_cores": _folded_cores,
     "rigid_cycles": _rigid_cycles,
+    "deep_cores": _deep_cores,
 }
 
 

@@ -49,7 +49,7 @@ class TestExecutorConfig:
 class TestParallelEquivalence:
     def test_parallel_results_byte_identical_to_sequential(self, scenario):
         sequential = evaluate_query_set_sequential(scenario.queries, scenario.database)
-        config = ExecutorConfig(workers=2, chunk_size=5, min_parallel_batch=1)
+        config = ExecutorConfig(workers=2, chunk_size=5, min_parallel_batch=1, adaptive=False)
         with EvalService(scenario.database, executor=config) as service:
             parallel = service.evaluate(scenario.queries)
             # Pool reuse: a second batch over the same service still matches.
@@ -84,7 +84,7 @@ class TestParallelEquivalence:
 
 class TestStreaming:
     def test_stream_preserves_input_order(self, scenario):
-        config = ExecutorConfig(workers=2, chunk_size=4, min_parallel_batch=1)
+        config = ExecutorConfig(workers=2, chunk_size=4, min_parallel_batch=1, adaptive=False)
         streamed = list(
             evaluate_query_set_stream(
                 iter(scenario.queries), scenario.database, executor=config
@@ -112,7 +112,7 @@ class TestStreaming:
     def test_stream_window_bounds_inflight_chunks(self, scenario):
         # With a tiny window the stream still terminates and stays ordered.
         config = ExecutorConfig(
-            workers=2, chunk_size=2, min_parallel_batch=1, inflight_factor=1
+            workers=2, chunk_size=2, min_parallel_batch=1, inflight_factor=1, adaptive=False
         )
         with EvalService(scenario.database, executor=config) as service:
             streamed = list(service.evaluate_stream(scenario.queries[:12]))
@@ -143,3 +143,129 @@ class TestCostModePlanning:
         stats = service.statistics(parse_query("E(x, y)"))
         assert stats.universe_size == 36
         assert stats.relation_sizes["E"] == 120
+
+
+class TestAdaptiveCutover:
+    def test_single_cpu_cuts_over_to_sequential(self, scenario, monkeypatch):
+        import repro.eval.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 1)
+        config = ExecutorConfig(workers=2, min_parallel_batch=1)
+        with EvalService(scenario.database, executor=config) as service:
+            results = service.evaluate(scenario.queries)
+            assert service.last_mode == "sequential"
+            assert "single CPU" in service.last_mode_reason
+        assert triples(results) == triples(
+            evaluate_query_set_sequential(scenario.queries, scenario.database)
+        )
+
+    def test_cheap_chunks_cut_over_on_cost(self, scenario, monkeypatch):
+        import repro.eval.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 8)
+        config = ExecutorConfig(
+            workers=2, min_parallel_batch=1, spawn_cost_threshold=float("inf")
+        )
+        with EvalService(scenario.database, executor=config) as service:
+            service.evaluate(scenario.queries[:6])
+            assert service.last_mode == "sequential"
+            assert "below spawn threshold" in service.last_mode_reason
+
+    def test_expensive_chunks_stay_parallel(self, scenario, monkeypatch):
+        import repro.eval.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 8)
+        config = ExecutorConfig(workers=2, min_parallel_batch=1, spawn_cost_threshold=0.0)
+        with EvalService(scenario.database, executor=config) as service:
+            results = service.evaluate(scenario.queries[:8])
+            assert service.last_mode == "parallel"
+        assert triples(results) == triples(
+            evaluate_query_set_sequential(scenario.queries[:8], scenario.database)
+        )
+
+    def test_adaptive_disabled_never_cuts_over(self, scenario):
+        config = ExecutorConfig(workers=2, min_parallel_batch=1, adaptive=False)
+        with EvalService(scenario.database, executor=config) as service:
+            service.evaluate(scenario.queries[:4])
+            assert service.last_mode == "parallel"
+            assert service.last_mode_reason == "adaptive cutover disabled"
+
+    def test_small_batches_record_sequential_mode(self, scenario):
+        config = ExecutorConfig(workers=2, min_parallel_batch=1000)
+        with EvalService(scenario.database, executor=config) as service:
+            service.evaluate(scenario.queries[:4])
+            assert service.last_mode == "sequential"
+            assert "min_parallel_batch" in service.last_mode_reason
+
+    def test_adaptive_sequential_results_match_reference(self, scenario, monkeypatch):
+        import repro.eval.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 1)
+        config = ExecutorConfig(workers=4, min_parallel_batch=1)
+        with EvalService(scenario.database, executor=config) as service:
+            streamed = list(service.evaluate_stream(iter(scenario.queries)))
+        assert triples(streamed) == triples(
+            evaluate_query_set_sequential(scenario.queries, scenario.database)
+        )
+
+
+class TestMemoisedResults:
+    def test_duplicate_queries_share_one_solve(self, scenario):
+        calls = []
+        import repro.eval.executor as executor_module
+
+        original = executor_module.solve_with_degree
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        with EvalService(scenario.database) as service:
+            import unittest.mock as mock
+
+            with mock.patch.object(executor_module, "solve_with_degree", counting):
+                duplicated = [scenario.queries[0]] * 5 + [scenario.queries[1]] * 5
+                results = service.evaluate(duplicated)
+        assert len(calls) <= 2
+        assert len(results) == 10
+        assert triples(results) == triples(
+            evaluate_query_set_sequential(duplicated, scenario.database)
+        )
+
+
+class TestSlimResults:
+    def test_slim_results_drop_the_profile(self, scenario):
+        from repro.eval import SlimSolveResult
+
+        config = ExecutorConfig(workers=1, slim_results=True)
+        with EvalService(scenario.database, executor=config) as service:
+            results = service.evaluate(scenario.queries[:10])
+        reference = evaluate_query_set_sequential(scenario.queries[:10], scenario.database)
+        assert all(isinstance(r, SlimSolveResult) for _, r in results)
+        assert [(r.answer, r.solver, r.degree) for _, r in results] == [
+            (r.answer, r.solver, r.degree) for _, r in reference
+        ]
+        assert [r.core_certificate for _, r in results] == [
+            r.core_certificate for _, r in reference
+        ]
+
+    def test_slim_results_pickle_smaller(self, scenario):
+        import pickle
+
+        config = ExecutorConfig(workers=1, slim_results=True)
+        with EvalService(scenario.database, executor=config) as service:
+            slim = [r for _, r in service.evaluate(scenario.queries)]
+        full = [
+            r for _, r in evaluate_query_set_sequential(scenario.queries, scenario.database)
+        ]
+        assert len(pickle.dumps(slim)) < len(pickle.dumps(full)) / 2
+
+    def test_slim_results_ship_from_pool_workers(self, scenario):
+        from repro.eval import SlimSolveResult
+
+        config = ExecutorConfig(
+            workers=2, min_parallel_batch=1, adaptive=False, slim_results=True
+        )
+        with EvalService(scenario.database, executor=config) as service:
+            results = service.evaluate(scenario.queries[:12])
+        assert all(isinstance(r, SlimSolveResult) for _, r in results)

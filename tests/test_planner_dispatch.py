@@ -221,3 +221,86 @@ class TestDatabaseStatistics:
         structure = Structure(Vocabulary({"E": 2, "L": 2}), [1, 2], {})
         stats = DatabaseStatistics.of(structure)
         assert stats.mean_fan_out == 1.0
+
+
+class TestPlanCache:
+    def setup_method(self):
+        from repro.eval import clear_plan_cache
+
+        clear_plan_cache()
+
+    def test_repeated_planning_hits_the_cache(self):
+        from repro.eval import clear_plan_cache, plan_cache_info, plan_query_cached
+
+        target = random_graph_structure(10, 0.4, seed=5)
+        stats = DatabaseStatistics.of(target)
+        profile = classify_structure(path(4))
+        first = plan_query_cached(profile, stats, PlannerConfig(mode="cost"))
+        second = plan_query_cached(profile, stats, PlannerConfig(mode="cost"))
+        assert first is second
+        info = plan_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        clear_plan_cache()
+        assert plan_cache_info() == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_equal_statistics_fingerprints_share_a_plan(self):
+        from repro.eval import plan_query_cached
+
+        # Two value-identical databases produce distinct stats objects but
+        # the same fingerprint — the cache must not care about identity.
+        stats_a = DatabaseStatistics.of(random_graph_structure(10, 0.4, seed=5))
+        stats_b = DatabaseStatistics.of(random_graph_structure(10, 0.4, seed=5))
+        assert stats_a is not stats_b
+        assert stats_a.fingerprint() == stats_b.fingerprint()
+        profile = classify_structure(cycle(5))
+        config = PlannerConfig(mode="cost")
+        assert plan_query_cached(profile, stats_a, config) is plan_query_cached(
+            profile, stats_b, config
+        )
+
+    def test_different_statistics_produce_fresh_plans(self):
+        from repro.eval import plan_cache_info, plan_query_cached
+
+        profile = classify_structure(path(4))
+        config = PlannerConfig(mode="cost")
+        small = DatabaseStatistics.of(random_graph_structure(5, 0.5, seed=1))
+        large = DatabaseStatistics.of(random_graph_structure(40, 0.5, seed=1))
+        plan_small = plan_query_cached(profile, small, config)
+        plan_large = plan_query_cached(profile, large, config)
+        assert plan_small is not plan_large
+        assert plan_cache_info()["misses"] == 2
+
+    def test_different_configs_do_not_collide(self):
+        from repro.eval import plan_query_cached
+
+        stats = DatabaseStatistics.of(random_graph_structure(10, 0.4, seed=5))
+        profile = classify_structure(clique(5))
+        threshold_plan = plan_query_cached(profile, stats, PlannerConfig())
+        cost_plan = plan_query_cached(profile, stats, PlannerConfig(mode="cost"))
+        assert threshold_plan.mode == "threshold"
+        assert cost_plan.mode == "cost"
+
+    def test_cache_is_bounded(self):
+        from repro.eval import plan_cache_info, plan_query_cached
+        from repro.eval.planner import _PLAN_CACHE_LIMIT
+
+        profile = classify_structure(path(3))
+        for size in range(2, _PLAN_CACHE_LIMIT + 30):
+            stats = DatabaseStatistics(
+                universe_size=size, total_tuples=size, relation_sizes={"E": size},
+                fan_out={"E": 1.0},
+            )
+            plan_query_cached(profile, stats, PlannerConfig(mode="cost"))
+        assert plan_cache_info()["size"] <= _PLAN_CACHE_LIMIT
+
+    def test_cached_plans_match_uncached(self):
+        from repro.eval import plan_query_cached
+
+        stats = DatabaseStatistics.of(random_graph_structure(12, 0.3, seed=8))
+        for pattern in (path(4), cycle(5), clique(5)):
+            profile = classify_structure(pattern)
+            for config in (PlannerConfig(), PlannerConfig(mode="cost")):
+                cached = plan_query_cached(profile, stats, config)
+                direct = plan_query(profile, stats, config)
+                assert cached.degree is direct.degree
+                assert cached.estimates == direct.estimates

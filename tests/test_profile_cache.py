@@ -35,7 +35,7 @@ class TestCachedProfile:
         assert len(_PROFILE_CACHE) == 1
 
     def test_eviction_at_limit_drops_oldest(self, monkeypatch):
-        monkeypatch.setattr(evaluation_module, "_PROFILE_CACHE_LIMIT", 3)
+        monkeypatch.setattr(_PROFILE_CACHE, "_capacity", 3)
         patterns = [pattern_of_length(length) for length in range(1, 5)]
         for pattern in patterns[:3]:
             _cached_profile(pattern)
@@ -46,7 +46,7 @@ class TestCachedProfile:
         assert patterns[3] in _PROFILE_CACHE
 
     def test_move_to_end_protects_recently_used_entries(self, monkeypatch):
-        monkeypatch.setattr(evaluation_module, "_PROFILE_CACHE_LIMIT", 3)
+        monkeypatch.setattr(_PROFILE_CACHE, "_capacity", 3)
         patterns = [pattern_of_length(length) for length in range(1, 5)]
         for pattern in patterns[:3]:
             _cached_profile(pattern)
@@ -101,3 +101,52 @@ class TestEvaluateQuerySetCacheFlag:
             assert len(_PROFILE_CACHE) == 0
             service.evaluate(queries, use_cache=True)
             assert len(_PROFILE_CACHE) == 1
+
+
+class TestBoundedLRU:
+    def test_capacity_validation(self):
+        from repro.caching import BoundedLRU
+
+        with pytest.raises(ValueError):
+            BoundedLRU(0)
+
+    def test_get_put_peek_and_counters(self):
+        from repro.caching import BoundedLRU
+
+        cache = BoundedLRU(2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        # peek neither counts nor refreshes recency
+        assert cache.peek("a") == 1
+        assert cache.info() == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_eviction_respects_recency(self):
+        from repro.caching import BoundedLRU
+
+        cache = BoundedLRU(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"
+        cache.put("c", 3)  # evicts "b"
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_overwrite_refreshes_without_evicting(self):
+        from repro.caching import BoundedLRU
+
+        cache = BoundedLRU(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # overwrite, no eviction
+        assert len(cache) == 2 and cache.peek("a") == 10
+        cache.put("c", 3)  # evicts "b" (coldest)
+        assert "b" not in cache
+
+    def test_clear_resets_counters(self):
+        from repro.caching import BoundedLRU
+
+        cache = BoundedLRU(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert cache.info() == {"hits": 0, "misses": 0, "size": 0}
