@@ -82,6 +82,7 @@ from repro.eval import (
     PlannerConfig,
     QueryPlan,
 )
+from repro.service import QueryService
 from repro.homomorphism import (
     BOOLEAN,
     COUNTING,
@@ -130,4 +131,5 @@ __all__ = [
     "PlannerConfig",
     "QueryPlan",
     "DatabaseStatistics",
+    "QueryService",
 ]

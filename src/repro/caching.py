@@ -12,7 +12,7 @@ reached) identical everywhere.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Generic, Iterator, Optional, TypeVar
+from typing import Callable, Dict, Generic, Iterator, Optional, TypeVar
 
 Key = TypeVar("Key")
 Value = TypeVar("Value")
@@ -56,6 +56,19 @@ class BoundedLRU(Generic[Key, Value]):
         elif len(self._entries) >= self._capacity:
             self._entries.popitem(last=False)
         self._entries[key] = value
+
+    def get_or_put(self, key: Key, factory: Callable[[], Value]) -> Value:
+        """Return the cached value, computing and inserting it on a miss.
+
+        The lookup/compute/insert idiom of every memoisation layer in
+        one place; counts exactly like a ``get`` followed by a ``put``.
+        ``factory`` must not return None (None encodes a miss).
+        """
+        value = self.get(key)
+        if value is None:
+            value = factory()
+            self.put(key, value)
+        return value
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""

@@ -70,10 +70,35 @@ class PlannerConfig:
     path_cost_weight: float = 2.0
     tree_cost_weight: float = 3.0
     backtracking_cost_weight: float = 0.5
+    #: Branching multiplier applied when the core's rigidity certificate
+    #: names a *symmetric* family ("clique", "odd-cycle"): those cores
+    #: carry a vertex-transitive automorphism group, so a first-witness
+    #: search collapses symmetric subtrees and the effective branching is
+    #: below the fan-out statistic.  Identity-only certificates
+    #: ("ac-rigid", "singleton") and search-proven cores have no such
+    #: slack and keep the full estimate.  1.0 disables the adjustment.
+    symmetry_discount: float = 0.85
 
     def __post_init__(self) -> None:
         if self.mode not in ("threshold", "cost"):
             raise ValueError(f"unknown planner mode {self.mode!r}")
+        if not 0.0 < self.symmetry_discount <= 1.0:
+            raise ValueError("symmetry_discount must be in (0, 1]")
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable snapshot (see :meth:`from_dict`).
+
+        The calibration layer (:mod:`repro.service.telemetry`) persists
+        fitted configurations across service restarts through this pair.
+        """
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlannerConfig":
+        """Rebuild a config saved by :meth:`to_dict` (unknown keys rejected)."""
+        return cls(**data)
 
 
 #: The configuration the library uses when the caller supplies none —

@@ -55,11 +55,7 @@ _PROFILE_CACHE: "BoundedLRU[Structure, StructureProfile]" = BoundedLRU(
 
 
 def _cached_profile(pattern: Structure) -> StructureProfile:
-    profile = _PROFILE_CACHE.get(pattern)
-    if profile is None:
-        profile = classify_structure(pattern)
-        _PROFILE_CACHE.put(pattern, profile)
-    return profile
+    return _PROFILE_CACHE.get_or_put(pattern, lambda: classify_structure(pattern))
 
 
 def peek_cached_profile(pattern: Structure) -> Optional[StructureProfile]:

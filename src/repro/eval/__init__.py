@@ -25,6 +25,8 @@ from repro.eval.planner import (
     plan_cache_info,
     plan_query,
     plan_query_cached,
+    route_raw_units,
+    route_weights,
 )
 from repro.eval.stats import DatabaseStatistics
 
@@ -39,6 +41,8 @@ __all__ = [
     "plan_cache_info",
     "clear_plan_cache",
     "estimate_route_costs",
+    "route_raw_units",
+    "route_weights",
     "conservative_cost_estimate",
     "COST_CAP",
     "EvalService",

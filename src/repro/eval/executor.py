@@ -28,10 +28,21 @@ service able to chew through very large query batches:
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from itertools import chain, islice
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.caching import BoundedLRU
 from repro.classification.classifier import StructureProfile, classify_structure
@@ -52,6 +63,9 @@ from repro.eval.planner import (
 from repro.eval.stats import DatabaseStatistics
 from repro.structures.structure import Structure
 from repro.structures.vocabulary import Vocabulary
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, types only
+    from repro.service.store import ServiceStores
 
 DatabaseLike = Union[Database, Structure]
 
@@ -139,11 +153,19 @@ class _EvaluationContext:
         config: PlannerConfig,
         use_cache: bool,
         slim: bool = False,
+        stores: "Optional[ServiceStores]" = None,
     ) -> None:
         self.database = database
         self.config = config
         self.use_cache = use_cache
         self.slim = slim
+        #: Service-lifetime shared state (:mod:`repro.service.store`):
+        #: cross-process profile/answer stores and the telemetry sink.
+        #: None keeps the historical per-context behaviour.
+        self.stores = stores
+        #: Locally buffered telemetry samples, flushed to the shared sink
+        #: once per chunk/batch (one IPC round trip, not one per solve).
+        self.telemetry_buffer: List[object] = []
         self.targets: Dict[Vocabulary, Structure] = {}
         self.stats: Dict[Vocabulary, DatabaseStatistics] = {}
         self.local_profiles: Dict[Structure, StructureProfile] = {}
@@ -177,6 +199,17 @@ class _EvaluationContext:
         return stats
 
     def profile_for(self, pattern: Structure) -> StructureProfile:
+        # ``use_cache=False`` promises batch-scoped profile sharing only,
+        # so the service-lifetime stores are bypassed along with the
+        # module-level LRU.
+        if self.use_cache and self.stores is not None and self.stores.profiles is not None:
+            # The service-lifetime shared store: one classification per
+            # distinct pattern across *all* workers and batches — the
+            # store's claim protocol makes the compute exactly-once and
+            # its counters are what the service stats endpoint reports.
+            return self.stores.profiles.get_or_compute(
+                pattern, lambda: classify_structure(pattern)
+            )
         if self.use_cache:
             # The bounded cross-call LRU owned by repro.cq.evaluation;
             # imported lazily to keep the import graph acyclic.
@@ -200,6 +233,8 @@ class _EvaluationContext:
 
     def profile_if_cached(self, pattern: Structure) -> Optional[StructureProfile]:
         """An already-computed profile for ``pattern``, or None — never classifies."""
+        if self.use_cache and self.stores is not None and self.stores.profiles is not None:
+            return self.stores.profiles.peek(pattern)
         if self.use_cache:
             from repro.cq.evaluation import peek_cached_profile
 
@@ -230,19 +265,53 @@ class _EvaluationContext:
         memoised = self.solved.get(key)
         if memoised is not None:
             return memoised
+        # The shared answer store is cross-call state; honour the
+        # ``use_cache=False`` contract by staying out of it entirely.
+        answers = (
+            self.stores.answers
+            if self.use_cache and self.stores is not None
+            else None
+        )
+        if answers is not None:
+            # The service-lifetime shared answer store: a pattern solved
+            # by any worker in any earlier chunk is an IPC lookup here,
+            # not a solve (ROADMAP "answer memoisation is per-context").
+            shared = answers.peek(key)
+            if shared is not None:
+                self.solved.put(key, shared)
+                return shared
         target = self.target_for(vocabulary)
         profile = self.profile_for(pattern)
+        telemetry = self.stores.telemetry if self.stores is not None else None
         stats = (
             self.stats_for(vocabulary)
-            if self.config.mode == "cost"
+            if self.config.mode == "cost" or telemetry is not None
             else None
         )
         plan = plan_query_cached(profile, stats, self.config)
-        result = solve_with_degree(pattern, target, plan.degree, profile)
+        if telemetry is not None:
+            start = time.perf_counter()
+            result = solve_with_degree(pattern, target, plan.degree, profile)
+            elapsed = time.perf_counter() - start
+            from repro.service.telemetry import make_sample
+
+            self.telemetry_buffer.append(
+                make_sample(plan.degree, profile, stats, elapsed, self.config)
+            )
+        else:
+            result = solve_with_degree(pattern, target, plan.degree, profile)
         if self.slim:
             result = result.slim()
         self.solved.put(key, result)
+        if answers is not None:
+            answers.put(key, result)
         return result
+
+    def flush_telemetry(self) -> None:
+        """Ship buffered telemetry samples to the shared sink (if any)."""
+        if self.telemetry_buffer and self.stores is not None and self.stores.telemetry is not None:
+            self.stores.telemetry.record(self.telemetry_buffer)
+            self.telemetry_buffer = []
 
 
 #: The worker-process context, installed by :func:`_initialize_worker` at
@@ -251,10 +320,14 @@ _WORKER_CONTEXT: Optional[_EvaluationContext] = None
 
 
 def _initialize_worker(
-    database: DatabaseLike, config: PlannerConfig, use_cache: bool, slim: bool
+    database: DatabaseLike,
+    config: PlannerConfig,
+    use_cache: bool,
+    slim: bool,
+    stores: "Optional[ServiceStores]" = None,
 ) -> None:
     global _WORKER_CONTEXT
-    _WORKER_CONTEXT = _EvaluationContext(database, config, use_cache, slim)
+    _WORKER_CONTEXT = _EvaluationContext(database, config, use_cache, slim, stores)
 
 
 def _evaluate_chunk(queries: Tuple[ConjunctiveQuery, ...]) -> List[AnySolveResult]:
@@ -262,11 +335,14 @@ def _evaluate_chunk(queries: Tuple[ConjunctiveQuery, ...]) -> List[AnySolveResul
 
     With ``slim_results`` configured the worker projects each result
     before it crosses the process boundary, so the parent never pays for
-    unpickling profiles it does not want.
+    unpickling profiles it does not want.  Telemetry buffered during the
+    chunk is flushed to the shared sink before the results ship.
     """
     if _WORKER_CONTEXT is None:  # pragma: no cover — initializer always ran
         raise RuntimeError("worker used before initialisation")
-    return [_WORKER_CONTEXT.solve(query) for query in queries]
+    results = [_WORKER_CONTEXT.solve(query) for query in queries]
+    _WORKER_CONTEXT.flush_telemetry()
+    return results
 
 
 def _chunks(
@@ -297,10 +373,16 @@ class EvalService:
         database: DatabaseLike,
         planner: Optional[PlannerConfig] = None,
         executor: Optional[ExecutorConfig] = None,
+        stores: "Optional[ServiceStores]" = None,
     ) -> None:
         self._database = database
         self._planner = planner if planner is not None else DEFAULT_PLANNER_CONFIG
         self._executor = executor if executor is not None else ExecutorConfig()
+        #: Optional service-lifetime shared stores/telemetry
+        #: (:mod:`repro.service.store`), threaded into every context and
+        #: pool worker.  The service does not own their lifecycle — the
+        #: query-service front-end (:mod:`repro.service.frontend`) does.
+        self._stores = stores
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_key: Optional[Tuple[bool, bool]] = None
         #: Parent-side contexts for plan()/statistics(), keyed by the
@@ -344,7 +426,9 @@ class EvalService:
     def _introspection_context(self, use_cache: bool) -> _EvaluationContext:
         context = self._introspection.get(use_cache)
         if context is None:
-            context = _EvaluationContext(self._database, self._planner, use_cache)
+            context = _EvaluationContext(
+                self._database, self._planner, use_cache, stores=self._stores
+            )
             self._introspection[use_cache] = context
         return context
 
@@ -361,22 +445,29 @@ class EvalService:
         self,
         queries: Sequence[ConjunctiveQuery],
         use_cache: bool = True,
+        mode: Optional[str] = None,
     ) -> List[Tuple[ConjunctiveQuery, AnySolveResult]]:
         """Evaluate a whole batch; the materialised form of the stream.
 
         Small batches (shorter than the executor's ``min_parallel_batch``)
         take the in-process path even when workers are configured.
+        ``mode`` forces a path (see :meth:`evaluate_stream`).
         """
         workers = self._executor.effective_workers()
-        if workers > 1 and len(queries) < self._executor.min_parallel_batch:
+        if (
+            mode is None
+            and workers > 1
+            and len(queries) < self._executor.min_parallel_batch
+        ):
             self._record_mode("sequential", "batch below min_parallel_batch")
             return list(self._evaluate_sequential(queries, use_cache))
-        return list(self.evaluate_stream(queries, use_cache=use_cache))
+        return list(self.evaluate_stream(queries, use_cache=use_cache, mode=mode))
 
     def evaluate_stream(
         self,
         queries: Iterable[ConjunctiveQuery],
         use_cache: bool = True,
+        mode: Optional[str] = None,
     ) -> Iterator[Tuple[ConjunctiveQuery, AnySolveResult]]:
         """Yield ``(query, SolveResult)`` pairs in input order.
 
@@ -389,10 +480,27 @@ class EvalService:
         head sample, that process fan-out would cost more than the work
         itself and run the whole batch in-process instead; the decision
         is recorded in :attr:`last_mode` / :attr:`last_mode_reason`.
+
+        ``mode`` overrides every heuristic: ``"sequential"`` or
+        ``"parallel"`` forces that path for this call.  A caller that
+        owns a service-lifetime decision — the query-service front-end's
+        drift-detecting controller — uses this instead of the per-call
+        head sampling.  (``"parallel"`` still degrades to sequential
+        when the executor resolves to a single worker.)
         """
+        if mode not in (None, "sequential", "parallel"):
+            raise ValueError(f"unknown forced mode {mode!r}")
         if self._executor.effective_workers() <= 1:
             self._record_mode("sequential", "workers <= 1")
             yield from self._evaluate_sequential(queries, use_cache)
+            return
+        if mode == "sequential":
+            self._record_mode("sequential", "forced by caller")
+            yield from self._evaluate_sequential(queries, use_cache)
+            return
+        if mode == "parallel":
+            self._record_mode("parallel", "forced by caller")
+            yield from self._evaluate_parallel(queries, use_cache)
             return
         if not self._executor.adaptive:
             self._record_mode("parallel", "adaptive cutover disabled")
@@ -459,16 +567,27 @@ class EvalService:
             context = self._sequential_context(True)
         else:
             context = _EvaluationContext(
-                self._database, self._planner, False, self._executor.slim_results
+                self._database,
+                self._planner,
+                False,
+                self._executor.slim_results,
+                self._stores,
             )
-        for query in queries:
-            yield query, context.solve(query)
+        try:
+            for query in queries:
+                yield query, context.solve(query)
+        finally:
+            context.flush_telemetry()
 
     def _sequential_context(self, use_cache: bool) -> _EvaluationContext:
         context = self._sequential_contexts.get(use_cache)
         if context is None:
             context = _EvaluationContext(
-                self._database, self._planner, use_cache, self._executor.slim_results
+                self._database,
+                self._planner,
+                use_cache,
+                self._executor.slim_results,
+                self._stores,
             )
             self._sequential_contexts[use_cache] = context
         return context
@@ -513,6 +632,7 @@ class EvalService:
                     self._planner,
                     use_cache,
                     self._executor.slim_results,
+                    self._stores,
                 ),
             )
             self._pool_key = key

@@ -92,28 +92,73 @@ def _powcost(weight: float, prefactor: float, base: float, exponent: int) -> flo
     return min(COST_CAP, weight * math.exp(log_cost))
 
 
+#: Certificates naming vertex-transitive core families.  Those cores have
+#: a rich automorphism group, so a first-witness search collapses
+#: symmetric subtrees: the effective branching sits below the measured
+#: fan-out, and the planner discounts it
+#: (``PlannerConfig.symmetry_discount``).  Identity-only certificates
+#: ("ac-rigid", "singleton") and search-proven cores (certificate None)
+#: are rigid with no symmetry-collapse slack and keep the full estimate.
+_SYMMETRIC_CERTIFICATES = frozenset({"clique", "odd-cycle"})
+
+
+def route_raw_units(
+    profile: StructureProfile,
+    stats: DatabaseStatistics,
+    config: PlannerConfig = DEFAULT_PLANNER_CONFIG,
+) -> Dict[ComplexityDegree, float]:
+    """The *unweighted* per-route estimates (elementary extension steps).
+
+    These are the ``prefactor · b^exponent`` models of the module
+    docstring before the config's calibration weights are applied — the
+    quantity the telemetry layer regresses observed wall times against
+    (:mod:`repro.service.telemetry`), so fitted weights are directly
+    comparable with the hand-set ones.
+    """
+    k = max(1, profile.core_size)
+    n = max(1, stats.universe_size)
+    branching = stats.branching_factor()
+    if profile.core_certificate in _SYMMETRIC_CERTIFICATES:
+        branching = max(1.0, branching * config.symmetry_discount)
+    return {
+        ComplexityDegree.PARA_L: _powcost(
+            1.0, k * n, branching, profile.core_treedepth - 1
+        ),
+        ComplexityDegree.PATH_COMPLETE: _powcost(
+            1.0, k * n, branching, profile.core_pathwidth
+        ),
+        ComplexityDegree.TREE_COMPLETE: _powcost(
+            1.0, k * n, branching, profile.core_treewidth
+        ),
+        ComplexityDegree.W1_HARD: _powcost(1.0, n, branching, k - 1),
+    }
+
+
+def route_weights(config: PlannerConfig) -> Dict[ComplexityDegree, float]:
+    """The config's calibration weights keyed by route."""
+    return {
+        ComplexityDegree.PARA_L: config.treedepth_cost_weight,
+        ComplexityDegree.PATH_COMPLETE: config.path_cost_weight,
+        ComplexityDegree.TREE_COMPLETE: config.tree_cost_weight,
+        ComplexityDegree.W1_HARD: config.backtracking_cost_weight,
+    }
+
+
 def estimate_route_costs(
     profile: StructureProfile,
     stats: DatabaseStatistics,
     config: PlannerConfig = DEFAULT_PLANNER_CONFIG,
 ) -> Dict[ComplexityDegree, float]:
     """Return the estimated cost of every route (see the module docstring)."""
-    k = max(1, profile.core_size)
-    n = max(1, stats.universe_size)
-    branching = max(1.0, min(float(n), stats.mean_fan_out))
+    raw = route_raw_units(profile, stats, config)
+    weights = route_weights(config)
     return {
-        ComplexityDegree.PARA_L: _powcost(
-            config.treedepth_cost_weight, k * n, branching, profile.core_treedepth - 1
-        ),
-        ComplexityDegree.PATH_COMPLETE: _powcost(
-            config.path_cost_weight, k * n, branching, profile.core_pathwidth
-        ),
-        ComplexityDegree.TREE_COMPLETE: _powcost(
-            config.tree_cost_weight, k * n, branching, profile.core_treewidth
-        ),
-        ComplexityDegree.W1_HARD: _powcost(
-            config.backtracking_cost_weight, n, branching, k - 1
-        ),
+        route: (
+            COST_CAP
+            if units >= COST_CAP
+            else min(COST_CAP, weights[route] * units)
+        )
+        for route, units in raw.items()
     }
 
 
@@ -133,7 +178,7 @@ def conservative_cost_estimate(
     work towards the pool.
     """
     n = max(1, stats.universe_size)
-    branching = max(1.0, min(float(n), stats.mean_fan_out))
+    branching = stats.branching_factor()
     return _powcost(
         config.backtracking_cost_weight, n, branching, max(0, pattern_size - 1)
     )
@@ -200,11 +245,7 @@ def plan_query_cached(
         None if stats is None else stats.fingerprint(),
         config,
     )
-    plan = _PLAN_CACHE.get(key)
-    if plan is None:
-        plan = plan_query(profile, stats, config)
-        _PLAN_CACHE.put(key, plan)
-    return plan
+    return _PLAN_CACHE.get_or_put(key, lambda: plan_query(profile, stats, config))
 
 
 def plan_cache_info() -> Dict[str, int]:

@@ -78,6 +78,16 @@ class DatabaseStatistics:
             return 1.0
         return max(1.0, sum(populated) / len(populated))
 
+    def branching_factor(self) -> float:
+        """The cost model's effective branching base: ``min(n, mean fan-out)``.
+
+        The number of candidate extensions per bound prefix can never
+        exceed the universe, and the exponent arithmetic needs a base of
+        at least 1; this is the shared clamp the planner and the
+        telemetry layer both apply.
+        """
+        return max(1.0, min(float(max(1, self.universe_size)), self.mean_fan_out))
+
     @classmethod
     def of(cls, target: Structure) -> "DatabaseStatistics":
         """Measure a target structure.

@@ -39,6 +39,7 @@ from repro.homomorphism.core_engine import (
     compute_core,
     endomorphism_domains,
     find_fold,
+    find_fold_batch,
     find_non_surjective_endomorphism,
     fold_reduce,
     rigidity_certificate,
@@ -105,6 +106,7 @@ __all__ = [
     "compute_core",
     "endomorphism_domains",
     "find_fold",
+    "find_fold_batch",
     "find_non_surjective_endomorphism",
     "fold_reduce",
     "rigidity_certificate",

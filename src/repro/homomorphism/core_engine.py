@@ -93,18 +93,51 @@ def _atoms_by_element(atoms: List[Atom]) -> Dict[Element, List[Atom]]:
 # Phase 1: folds (dominated-element elimination)
 # ---------------------------------------------------------------------------
 
+def _fold_targets(
+    a: Element,
+    structure: Structure,
+    index: StructureIndex,
+    by_element: Dict[Element, List[Atom]],
+) -> Set[Element]:
+    """All ``b ≠ a`` such that ``a ↦ b`` (identity elsewhere) is an endomorphism.
+
+    The map is an endomorphism iff every atom containing ``a`` still
+    holds after substituting ``b`` for ``a`` (all occurrences at once) —
+    ``a``'s atom-neighbourhood is *dominated* by ``b``'s.  Candidates are
+    intersected over ``a``'s atoms via the target hash indexes, so the
+    scan costs one index lookup per incident atom.  The shared witness
+    check behind :func:`find_fold` and :func:`find_fold_batch`.
+    """
+    candidates: Optional[Set[Element]] = None
+    for name, tup in by_element.get(a, ()):
+        relation = index.relation(name)
+        a_positions = [p for p, x in enumerate(tup) if x == a]
+        bound = {p: x for p, x in enumerate(tup) if x != a}
+        values: Set[Element] = set()
+        for witness in relation.matching(bound):
+            value = witness[a_positions[0]]
+            if all(witness[p] == value for p in a_positions[1:]):
+                values.add(value)
+        candidates = values if candidates is None else candidates & values
+        if not candidates:
+            break
+    if candidates is None:
+        # No incident atoms: an isolated element maps anywhere.
+        candidates = set(structure.universe)
+    else:
+        candidates = set(candidates)
+    candidates.discard(a)
+    return candidates
+
+
 def find_fold(
     structure: Structure, index: Optional[StructureIndex] = None
 ) -> Optional[Tuple[Element, Element]]:
     """Return ``(a, b)`` such that ``a ↦ b`` (identity elsewhere) is an endomorphism.
 
-    The map is an endomorphism iff every atom containing ``a`` still
-    holds after substituting ``b`` for ``a`` (all occurrences at once) —
-    ``a``'s atom-neighbourhood is *dominated* by ``b``'s.  Candidates for
-    ``b`` are intersected over ``a``'s atoms via the target hash indexes,
-    so the scan costs one index lookup per incident atom.  Low-degree
-    elements are scanned first (leaves fold earliest); returns None when
-    no element folds.
+    Low-degree elements are scanned first (leaves fold earliest); the
+    per-element witness check is :func:`_fold_targets`.  Returns None
+    when no element folds.
     """
     if len(structure) <= 1:
         return None
@@ -121,45 +154,88 @@ def find_fold(
         return len(by_element.get(element, ()))
 
     for a in sorted(structure.universe, key=lambda x: (degree(x), stable_key(x))):
-        candidates: Optional[Set[Element]] = None
-        for name, tup in by_element.get(a, ()):
-            relation = index.relation(name)
-            a_positions = [p for p, x in enumerate(tup) if x == a]
-            bound = {p: x for p, x in enumerate(tup) if x != a}
-            values: Set[Element] = set()
-            for witness in relation.matching(bound):
-                value = witness[a_positions[0]]
-                if all(witness[p] == value for p in a_positions[1:]):
-                    values.add(value)
-            candidates = values if candidates is None else candidates & values
-            if not candidates:
-                break
-        if candidates is None:
-            # No incident atoms: an isolated element maps anywhere.
-            candidates = set(structure.universe)
-        candidates.discard(a)
+        candidates = _fold_targets(a, structure, index, by_element)
         if candidates:
             return a, min(candidates, key=stable_key)
     return None
 
 
+def find_fold_batch(
+    structure: Structure, index: Optional[StructureIndex] = None
+) -> List[Tuple[Element, Element]]:
+    """Return a non-interfering *set* of folds, applicable simultaneously.
+
+    One scan in :func:`find_fold`'s order, greedily accepting every fold
+    ``(a, b)`` whose witness cannot be invalidated by the folds already
+    accepted this pass:
+
+    * ``b`` is not itself folded away by the batch, and ``a`` is not the
+      target of an earlier accepted fold (targets must survive);
+    * no atom incident to ``a`` mentions another batched folded element —
+      every atom then contains at most one substituted element, so each
+      atom's image under the *combined* map is exactly the atom the
+      single-fold check verified, and that image avoids every removed
+      element.
+
+    The combined map (``a_i ↦ b_i``, identity elsewhere) is therefore an
+    endomorphism of ``structure`` onto the induced substructure with all
+    ``a_i`` removed.  The first accepted fold equals :func:`find_fold`'s
+    answer, so a non-empty batch exists exactly when a single fold does.
+    """
+    if len(structure) <= 1:
+        return []
+    if index is None:
+        index = StructureIndex(structure)
+    atoms = _positive_atoms(structure)
+    by_element = _atoms_by_element(atoms)
+
+    def degree(element: Element) -> int:
+        return len(by_element.get(element, ()))
+
+    batch: List[Tuple[Element, Element]] = []
+    folded: Set[Element] = set()
+    targets: Set[Element] = set()
+    for a in sorted(structure.universe, key=lambda x: (degree(x), stable_key(x))):
+        if a in targets:
+            continue
+        if any(
+            any(other in folded for other in tup)
+            for _, tup in by_element.get(a, ())
+        ):
+            continue
+        candidates = _fold_targets(a, structure, index, by_element)
+        candidates -= folded
+        if candidates:
+            b = min(candidates, key=stable_key)
+            batch.append((a, b))
+            folded.add(a)
+            targets.add(b)
+    return batch
+
+
 def _fold_reduce(
     structure: Structure,
 ) -> Tuple[Structure, Endomorphism, int, StructureIndex]:
-    """:func:`fold_reduce` plus the final structure's index (for reuse)."""
+    """:func:`fold_reduce` plus the final structure's index (for reuse).
+
+    Folds are applied in independent *batches* (:func:`find_fold_batch`),
+    so the structure and its hash index are rebuilt once per pass instead
+    of once per fold — O(rounds) rebuilds where the per-fold loop paid
+    O(n) (ROADMAP "fold batching").
+    """
     current = structure
     retraction: Endomorphism = {a: a for a in structure.universe}
     count = 0
     index = StructureIndex(current)
     while True:
-        fold = find_fold(current, index)
-        if fold is None:
+        batch = find_fold_batch(current, index)
+        if not batch:
             return current, retraction, count, index
-        a, b = fold
-        count += 1
-        current = current.induced_substructure(current.universe - {a})
+        count += len(batch)
+        mapping = dict(batch)
+        current = current.induced_substructure(current.universe - set(mapping))
         index = StructureIndex(current)
-        retraction = {x: (b if y == a else y) for x, y in retraction.items()}
+        retraction = {x: mapping.get(y, y) for x, y in retraction.items()}
 
 
 def fold_reduce(structure: Structure) -> Tuple[Structure, Endomorphism, int]:

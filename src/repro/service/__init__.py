@@ -1,0 +1,71 @@
+"""The query-service layer: shared stores, calibration, and the front-end.
+
+Where :mod:`repro.eval` turns one batch of queries into answers as fast
+as the hardware allows, this package turns the evaluator into a
+*service*: state that outlives batches (and is shared across pool
+workers), a planner that learns its own cost weights from realised
+timings, and a front-end that batches requests and decides serial vs
+parallel once per lifetime instead of once per call.
+
+* :mod:`repro.service.store` — :class:`SharedStore` (manager-backed
+  cross-process KV with a process-local L1 and an exactly-once compute
+  protocol), :class:`TelemetrySink`, and the :class:`ServiceStores`
+  bundle the executor threads to its workers.
+* :mod:`repro.service.telemetry` — :class:`SolveSample` records,
+  least-squares weight fitting, the no-regression guard
+  (:func:`select_planner`), spawn-overhead measurement and
+  :class:`CalibrationState` persistence.
+* :mod:`repro.service.frontend` — :class:`QueryService` and its
+  :class:`AdaptiveController`.
+
+Quickstart::
+
+    from repro.service import QueryService
+
+    with QueryService(database) as service:
+        for query, result in service.evaluate(queries):
+            ...
+        service.calibrate()           # fit the cost model from telemetry
+        print(service.stats())        # hit rates, modes, calibration
+"""
+
+from repro.service.frontend import AdaptiveController, QueryService
+from repro.service.store import (
+    ServiceStores,
+    SharedStore,
+    StoreManager,
+    TelemetrySink,
+)
+from repro.service.telemetry import (
+    DEFAULT_SPAWN_OVERHEAD_SECONDS,
+    CalibrationResult,
+    CalibrationState,
+    RouteTimingCase,
+    SolveSample,
+    calibrate_planner,
+    fit_route_weights,
+    make_sample,
+    measure_spawn_overhead,
+    routed_seconds,
+    select_planner,
+)
+
+__all__ = [
+    "QueryService",
+    "AdaptiveController",
+    "SharedStore",
+    "TelemetrySink",
+    "ServiceStores",
+    "StoreManager",
+    "SolveSample",
+    "make_sample",
+    "fit_route_weights",
+    "calibrate_planner",
+    "CalibrationResult",
+    "CalibrationState",
+    "RouteTimingCase",
+    "routed_seconds",
+    "select_planner",
+    "measure_spawn_overhead",
+    "DEFAULT_SPAWN_OVERHEAD_SECONDS",
+]

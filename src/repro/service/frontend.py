@@ -1,0 +1,431 @@
+"""The query-service front-end: a long-lived EVAL(Φ) serving layer.
+
+:class:`QueryService` is what the ROADMAP's "production-scale service"
+looks like above the executor: one object bound to one database that
+
+* **batches requests** — :meth:`submit` coalesces individually arriving
+  queries; :meth:`flush` ships them through the executor in bounded
+  batches, so a thousand one-query submits cost one pool interaction
+  per batch, not a thousand;
+* **shares state across workers** — classification profiles and solved
+  answers live in the cross-process stores of
+  :mod:`repro.service.store`, so a repeated pattern is classified (and
+  solved) **once per service lifetime**, not once per worker per chunk;
+* **decides serial vs parallel once per lifetime, not per call** — the
+  :class:`AdaptiveController` keeps a running mean of realised
+  per-query times with drift detection, replacing the executor's
+  per-call head-sampling cutover (ROADMAP "adaptive decision is
+  per-call");
+* **calibrates itself** — every solve feeds the telemetry sink, and
+  :meth:`calibrate` fits the planner's cost weights (and the spawn
+  threshold) from the drained samples
+  (:mod:`repro.service.telemetry`), optionally persisting the result so
+  the next service starts calibrated;
+* **answers for itself** — :meth:`stats` exposes store hit/miss/compute
+  counters (the "classification calls" the dedup benchmark gates on),
+  the mode history with reasons, drift events, and the calibration
+  state.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import replace
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.classification.solver_dispatch import DEFAULT_PLANNER_CONFIG, PlannerConfig
+from repro.cq.database import Database
+from repro.cq.query import ConjunctiveQuery
+from repro.eval.executor import AnySolveResult, EvalService, ExecutorConfig
+from repro.service.store import ServiceStores, StoreManager
+from repro.service.telemetry import (
+    DEFAULT_SPAWN_OVERHEAD_SECONDS,
+    CalibrationResult,
+    CalibrationState,
+    calibrate_planner,
+)
+from repro.structures.structure import Structure
+
+DatabaseLike = Union[Database, Structure]
+
+
+class AdaptiveController:
+    """The service-lifetime serial/parallel decision with drift detection.
+
+    The executor's adaptive cutover samples the head of *every* batch
+    and asks the planner for estimates; this controller instead keeps a
+    running mean of **realised** per-query seconds across the service's
+    whole lifetime and compares the implied per-chunk solving time with
+    the measured pool spawn overhead — no per-call estimation work at
+    all once warmed up.
+
+    Drift detection: per-batch means are kept in a bounded window, and
+    when the window mean diverges from the lifetime mean by more than
+    ``drift_factor`` in either direction the lifetime statistics are
+    reset to the window — the workload has shifted (e.g. from folded
+    trees to dense clique queries) and decisions should track the new
+    regime, not the stale average.  Every reset is recorded.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        chunk_size: int,
+        spawn_overhead_seconds: float = DEFAULT_SPAWN_OVERHEAD_SECONDS,
+        min_parallel_batch: int = 32,
+        warmup_queries: int = 8,
+        drift_window: int = 16,
+        drift_factor: float = 4.0,
+    ) -> None:
+        if drift_window < 2:
+            raise ValueError("drift_window must be at least 2")
+        if drift_factor <= 1.0:
+            raise ValueError("drift_factor must exceed 1.0")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.spawn_overhead_seconds = spawn_overhead_seconds
+        self.min_parallel_batch = min_parallel_batch
+        self.warmup_queries = warmup_queries
+        self.drift_factor = drift_factor
+        self._lifetime_seconds = 0.0
+        self._lifetime_queries = 0
+        self._window: Deque[float] = deque(maxlen=drift_window)
+        self.drift_events: List[Dict[str, float]] = []
+
+    @property
+    def mean_seconds(self) -> Optional[float]:
+        """Lifetime mean realised seconds per query (serial-equivalent)."""
+        if self._lifetime_queries == 0:
+            return None
+        return self._lifetime_seconds / self._lifetime_queries
+
+    def observe(self, seconds: float, queries: int, mode: str) -> None:
+        """Record one batch's realised wall time.
+
+        Parallel wall time is converted to a serial-equivalent estimate
+        (``wall · workers``, i.e. assuming the pool was busy) so both
+        modes feed the same per-query statistic the serial/parallel
+        comparison needs.
+        """
+        if queries <= 0:
+            return
+        factor = self.workers if mode == "parallel" else 1
+        per_query = seconds * factor / queries
+        self._lifetime_seconds += per_query * queries
+        self._lifetime_queries += queries
+        self._window.append(per_query)
+        self._check_drift()
+
+    def _check_drift(self) -> None:
+        if len(self._window) < self._window.maxlen:
+            return
+        lifetime_mean = self.mean_seconds
+        if not lifetime_mean:
+            return
+        window_mean = sum(self._window) / len(self._window)
+        if (
+            window_mean > lifetime_mean * self.drift_factor
+            or window_mean * self.drift_factor < lifetime_mean
+        ):
+            self.drift_events.append(
+                {
+                    "lifetime_mean_seconds": lifetime_mean,
+                    "window_mean_seconds": window_mean,
+                    "queries_observed": float(self._lifetime_queries),
+                }
+            )
+            # Restart the lifetime statistics from the recent window:
+            # the old regime's numbers would keep outvoting reality.
+            self._lifetime_seconds = window_mean * len(self._window)
+            self._lifetime_queries = len(self._window)
+            self._window.clear()
+
+    def decide(self, batch_size: int) -> Tuple[str, str]:
+        """Return ``(mode, reason)`` for a batch of the given size."""
+        if self.workers <= 1:
+            return "sequential", "workers <= 1"
+        if (os.cpu_count() or 1) <= 1:
+            return "sequential", "single CPU"
+        if batch_size < self.min_parallel_batch:
+            return "sequential", "batch below min_parallel_batch"
+        if self._lifetime_queries < self.warmup_queries:
+            return (
+                "sequential",
+                f"warm-up: {self._lifetime_queries}/{self.warmup_queries} "
+                f"queries observed",
+            )
+        chunk_seconds = (self.mean_seconds or 0.0) * self.chunk_size
+        if chunk_seconds < self.spawn_overhead_seconds:
+            return (
+                "sequential",
+                f"mean chunk time {chunk_seconds:.2e}s below spawn "
+                f"overhead {self.spawn_overhead_seconds:.2e}s",
+            )
+        return (
+            "parallel",
+            f"mean chunk time {chunk_seconds:.2e}s above spawn "
+            f"overhead {self.spawn_overhead_seconds:.2e}s",
+        )
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "queries_observed": self._lifetime_queries,
+            "mean_seconds": self.mean_seconds,
+            "spawn_overhead_seconds": self.spawn_overhead_seconds,
+            "drift_events": list(self.drift_events),
+        }
+
+
+class QueryService:
+    """A long-lived, self-calibrating EVAL(Φ) query service.
+
+    Parameters
+    ----------
+    database:
+        The database (or target structure) the service is bound to.
+    planner, executor:
+        As for :class:`~repro.eval.executor.EvalService`.  The
+        executor's own per-call adaptive cutover is disabled — the
+        service-lifetime :class:`AdaptiveController` owns the decision.
+    shared:
+        Back the stores with a ``multiprocessing.Manager`` (required
+        for cross-worker sharing).  Default: exactly when the executor
+        resolves to more than one worker.
+    telemetry:
+        Record a :class:`~repro.service.telemetry.SolveSample` per
+        realised solve (the input to :meth:`calibrate`).
+    batch_size:
+        Upper bound on one executor batch; a flush of more pending
+        queries is split, each slice getting its own mode decision.
+    calibration:
+        A :class:`CalibrationState` (or a path to one saved with
+        :meth:`save_calibration`) to start from, instead of the
+        hand-set defaults.
+    """
+
+    def __init__(
+        self,
+        database: DatabaseLike,
+        planner: Optional[PlannerConfig] = None,
+        executor: Optional[ExecutorConfig] = None,
+        *,
+        shared: Optional[bool] = None,
+        telemetry: bool = True,
+        batch_size: int = 256,
+        spawn_overhead_seconds: float = DEFAULT_SPAWN_OVERHEAD_SECONDS,
+        warmup_queries: int = 8,
+        drift_window: int = 16,
+        drift_factor: float = 4.0,
+        calibration: Optional[Union[CalibrationState, str]] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        executor = executor if executor is not None else ExecutorConfig()
+        # The front-end owns the serial/parallel decision; the executor
+        # must not second-guess it per call.
+        executor = replace(executor, adaptive=False)
+        self._database = database
+        self._base_planner = planner if planner is not None else DEFAULT_PLANNER_CONFIG
+        self._calibration: Optional[CalibrationState] = None
+        if isinstance(calibration, str):
+            calibration = CalibrationState.load(calibration)
+        if calibration is not None:
+            self._calibration = calibration
+            planner = calibration.planner
+            if calibration.spawn_cost_threshold is not None:
+                spawn_overhead_seconds = calibration.spawn_cost_threshold
+        workers = executor.effective_workers()
+        if shared is None:
+            shared = workers > 1
+        self._store_manager = StoreManager(shared=shared, telemetry=telemetry)
+        self._executor_config = executor
+        self._planner = planner if planner is not None else self._base_planner
+        self._eval = EvalService(
+            database,
+            planner=self._planner,
+            executor=executor,
+            stores=self._store_manager.stores,
+        )
+        self.controller = AdaptiveController(
+            workers=workers,
+            chunk_size=executor.chunk_size,
+            spawn_overhead_seconds=spawn_overhead_seconds,
+            min_parallel_batch=executor.min_parallel_batch,
+            warmup_queries=warmup_queries,
+            drift_window=drift_window,
+            drift_factor=drift_factor,
+        )
+        self._batch_size = batch_size
+        self._pending: List[ConjunctiveQuery] = []
+        self._mode_history: List[Dict[str, Any]] = []
+        self._queries_served = 0
+        self._batches_served = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        self._eval.close()
+        self._store_manager.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- serving ------------------------------------------------------------
+    @property
+    def stores(self) -> ServiceStores:
+        """The service's shared store bundle (profiles, answers, telemetry)."""
+        return self._store_manager.stores
+
+    @property
+    def planner(self) -> PlannerConfig:
+        """The planner configuration currently in force."""
+        return self._planner
+
+    def submit(self, query: ConjunctiveQuery) -> None:
+        """Queue one query; it runs at the next :meth:`flush`.
+
+        This is the request-batching half of the front-end: arbitrarily
+        many individually submitted queries become a handful of executor
+        batches.
+        """
+        self._pending.append(query)
+
+    def flush(
+        self, mode: Optional[str] = None
+    ) -> List[Tuple[ConjunctiveQuery, AnySolveResult]]:
+        """Evaluate everything queued, in submission order.
+
+        Pending queries are cut into batches of at most ``batch_size``;
+        each batch gets its own controller decision (or the forced
+        ``mode``), is timed, and feeds the controller's running mean.
+        """
+        out: List[Tuple[ConjunctiveQuery, AnySolveResult]] = []
+        while self._pending:
+            batch = self._pending[: self._batch_size]
+            del self._pending[: len(batch)]
+            out.extend(self._run_batch(batch, mode))
+        return out
+
+    def evaluate(
+        self, queries: Sequence[ConjunctiveQuery], mode: Optional[str] = None
+    ) -> List[Tuple[ConjunctiveQuery, AnySolveResult]]:
+        """Submit a whole batch and flush it (the one-call convenience)."""
+        self._pending.extend(queries)
+        return self.flush(mode)
+
+    def _run_batch(
+        self, batch: List[ConjunctiveQuery], forced_mode: Optional[str]
+    ) -> List[Tuple[ConjunctiveQuery, AnySolveResult]]:
+        if forced_mode is None:
+            mode, reason = self.controller.decide(len(batch))
+        else:
+            mode, reason = forced_mode, "forced by caller"
+        start = time.perf_counter()
+        results = self._eval.evaluate(batch, mode=mode)
+        elapsed = time.perf_counter() - start
+        # The executor may have degraded a forced/decided "parallel" to
+        # sequential (single worker); trust what actually ran.
+        ran_mode = self._eval.last_mode or mode
+        self.controller.observe(elapsed, len(batch), ran_mode)
+        self._batches_served += 1
+        self._queries_served += len(batch)
+        self._mode_history.append(
+            {
+                "batch": self._batches_served,
+                "queries": len(batch),
+                "mode": ran_mode,
+                "reason": reason,
+                "seconds": elapsed,
+            }
+        )
+        return results
+
+    # -- calibration --------------------------------------------------------
+    def telemetry_samples(self) -> list:
+        """Every solve sample recorded so far (drained non-destructively)."""
+        sink = self.stores.telemetry
+        return [] if sink is None else sink.drain()
+
+    def calibrate(
+        self,
+        min_samples: int = 8,
+        spawn_overhead_seconds: Optional[float] = None,
+        apply: bool = True,
+    ) -> CalibrationResult:
+        """Fit planner weights from this service's telemetry.
+
+        With ``apply=True`` (and enough samples) the fitted cost-mode
+        configuration replaces the current planner: the worker pool is
+        restarted under the new config and the controller's spawn
+        overhead switches to the fitted threshold.  The hand-set config
+        the service started from stays the fitting baseline, so
+        repeated calibrations do not compound.
+        """
+        samples = self.telemetry_samples()
+        result = calibrate_planner(
+            samples,
+            base=self._base_planner,
+            spawn_overhead_seconds=(
+                spawn_overhead_seconds
+                if spawn_overhead_seconds is not None
+                else self.controller.spawn_overhead_seconds
+            ),
+            min_samples=min_samples,
+        )
+        if apply and result.source == "fitted":
+            self._apply_planner(result.planner, result.spawn_cost_threshold)
+            self._calibration = result.state()
+        return result
+
+    def _apply_planner(
+        self, planner: PlannerConfig, spawn_cost_threshold: Optional[float]
+    ) -> None:
+        self._eval.close()
+        self._planner = planner
+        if spawn_cost_threshold is not None:
+            self._executor_config = replace(
+                self._executor_config, spawn_cost_threshold=spawn_cost_threshold
+            )
+            self.controller.spawn_overhead_seconds = spawn_cost_threshold
+        self._eval = EvalService(
+            self._database,
+            planner=planner,
+            executor=self._executor_config,
+            stores=self._store_manager.stores,
+        )
+
+    def save_calibration(self, path: str) -> None:
+        """Persist the current calibration state (raises if none exists)."""
+        if self._calibration is None:
+            raise ValueError("no calibration has been applied or loaded")
+        self._calibration.save(path)
+
+    # -- the stats endpoint -------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """The service's observable state, one JSON-friendly dict.
+
+        ``classification_calls`` is the shared profile store's global
+        compute counter — on a repeated-pattern workload it is bounded
+        by the number of *distinct* patterns the service ever saw,
+        which is the dedup guarantee the benchmark gates.
+        """
+        stores = self.stores.info()
+        profiles = stores.get("profiles") or {}
+        return {
+            "queries_served": self._queries_served,
+            "batches_served": self._batches_served,
+            "pending": len(self._pending),
+            "shared_stores": self._store_manager.shared,
+            "classification_calls": profiles.get("computes", 0),
+            "stores": stores,
+            "controller": self.controller.info(),
+            "mode_history": list(self._mode_history),
+            "calibration": (
+                None if self._calibration is None else self._calibration.to_dict()
+            ),
+            "planner_mode": self._planner.mode,
+        }

@@ -1,0 +1,396 @@
+"""Shared cross-worker stores: classify and solve once per *service*.
+
+The executor's pool workers each hold a private classification-profile
+cache and a private solved-result cache (:mod:`repro.eval.executor`), so
+a pattern repeated across chunks is classified once per *worker* and a
+query repeated across batches is solved once per *context* — per-process
+deduplication, not per-service.  This module provides the service-wide
+level:
+
+* :class:`SharedStore` — a two-level key/value store.  The shared level
+  is a ``multiprocessing.Manager`` dict (one authoritative copy in the
+  manager process, visible to parent and every pool worker alike); a
+  process-local **L1** :class:`~repro.caching.BoundedLRU` sits in front
+  so the steady state costs a local dict hit, not an IPC round trip.
+  For single-process services the same class runs over a plain dict and
+  a ``threading.Lock`` — identical semantics, zero IPC.
+* **compute-once protocol** — :meth:`SharedStore.get_or_compute` claims
+  a missing key atomically (``DictProxy.setdefault`` executes in the
+  manager process) before computing; losers of the race *wait* for the
+  winner's published value instead of recomputing.  A service therefore
+  pays **at most one** compute per distinct key — the guarantee the
+  classification-dedup benchmark gates on — with a timeout fallback so
+  a crashed claimant can never wedge the store.
+* :class:`TelemetrySink` — the cross-process sample buffer behind
+  telemetry-driven planner calibration (:mod:`repro.service.telemetry`):
+  workers append batches of solve samples, the parent drains them.
+* :class:`ServiceStores` — the picklable bundle the executor threads
+  through pool initialisation, plus :class:`StoreManager`, the owner of
+  the manager process's lifetime.
+
+Pickling a :class:`SharedStore` (to ship it to a pool worker) carries
+the shared-level proxies but **not** the L1 — every process starts with
+a cold private L1 over the same warm shared level, which is exactly the
+fork-vs-spawn-agnostic behaviour the concurrency tests pin down.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.caching import BoundedLRU
+
+#: First component of a claim marker.  Claim markers are tuples so they
+#: can never collide with stored values, which are wrapped in a
+#: ``(_VALUE_TAG, value)`` envelope of their own.
+_CLAIM_TAG = "__repro_claim__"
+_VALUE_TAG = "__repro_value__"
+
+
+class SharedStore:
+    """A two-level (shared + process-local L1) key/value store.
+
+    Parameters
+    ----------
+    data, counters:
+        Mapping objects for entries and global counters — manager dict
+        proxies for cross-process stores, plain dicts for local ones.
+    lock:
+        A lock guarding eviction and counter read-modify-write cycles
+        (manager lock or ``threading.Lock`` to match ``data``).
+    capacity:
+        Bound of the shared level (FIFO eviction of the oldest entry).
+    l1_capacity:
+        Bound of the per-process L1.
+    claim_timeout:
+        How long a loser of the compute race waits for the winner's
+        value before giving up and computing locally.  The fallback
+        keeps a crashed claimant from wedging every other process; it
+        and capacity eviction (a key evicted and later re-requested)
+        are the only paths on which a key can be computed twice —
+        eviction never touches in-flight claims.
+    poll_interval:
+        Sleep between polls while waiting on another process's claim.
+    """
+
+    def __init__(
+        self,
+        data: Any,
+        lock: Any,
+        counters: Any,
+        capacity: int = 4096,
+        l1_capacity: int = 1024,
+        claim_timeout: float = 30.0,
+        poll_interval: float = 0.002,
+    ) -> None:
+        if capacity < 1 or l1_capacity < 1:
+            raise ValueError("store capacities must be at least 1")
+        self._data = data
+        self._lock = lock
+        self._counters = counters
+        self._capacity = capacity
+        self._l1_capacity = l1_capacity
+        self._claim_timeout = claim_timeout
+        self._poll_interval = poll_interval
+        self._l1: "BoundedLRU[Any, Any]" = BoundedLRU(l1_capacity)
+        self._claim_sequence = itertools.count()
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def local(cls, capacity: int = 4096, l1_capacity: int = 1024) -> "SharedStore":
+        """An in-process store: plain dicts, a threading lock, no IPC.
+
+        Semantically identical to the manager-backed form (including the
+        claim protocol, exercised by multi-threaded callers), so the
+        sequential service path reports the same counters the parallel
+        path does.
+        """
+        import threading
+
+        return cls(
+            data={},
+            lock=threading.Lock(),
+            counters={"hits": 0, "misses": 0, "computes": 0, "evictions": 0, "waits": 0},
+            capacity=capacity,
+            l1_capacity=l1_capacity,
+        )
+
+    @classmethod
+    def managed(
+        cls,
+        manager: Any,
+        capacity: int = 4096,
+        l1_capacity: int = 1024,
+        claim_timeout: float = 30.0,
+    ) -> "SharedStore":
+        """A cross-process store backed by an already-running manager."""
+        return cls(
+            data=manager.dict(),
+            lock=manager.Lock(),
+            counters=manager.dict(
+                {"hits": 0, "misses": 0, "computes": 0, "evictions": 0, "waits": 0}
+            ),
+            capacity=capacity,
+            l1_capacity=l1_capacity,
+            claim_timeout=claim_timeout,
+        )
+
+    # -- pickling: ship the shared level, drop the private L1 ---------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_l1"]
+        del state["_claim_sequence"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._l1 = BoundedLRU(self._l1_capacity)
+        self._claim_sequence = itertools.count()
+
+    def _new_claim(self) -> tuple:
+        """A claim marker unique to this call.
+
+        The pid is read *per call*, never baked in at construction: under
+        the fork start method a pool ships this object to workers by
+        memory inheritance (no unpickling), so a cached token would be
+        the parent's in every worker and all their claims would compare
+        equal — each worker would believe it owned the others' claims
+        and recompute.  The sequence number separates concurrent calls
+        from threads of one process.
+        """
+        return (_CLAIM_TAG, os.getpid(), id(self), next(self._claim_sequence))
+
+    # -- counters -----------------------------------------------------------
+    def _bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    # -- the store protocol -------------------------------------------------
+    def get_or_compute(self, key: Any, compute: Callable[[], Any]) -> Any:
+        """Return the stored value for ``key``, computing it at most once.
+
+        The fast path is an L1 hit.  On an L1 miss the shared level is
+        consulted; on a shared miss the caller races to *claim* the key,
+        and exactly one process computes while the others wait for the
+        published value.  Counters:
+
+        * ``hits``/``misses`` — shared-level lookups (L1 traffic is
+          visible in :meth:`info` under ``l1``),
+        * ``computes`` — invocations of ``compute`` (the
+          "classification calls" the service stats endpoint exposes),
+        * ``waits`` — times a process waited on another's claim.
+        """
+        cached = self._l1.get(key)
+        if cached is not None:
+            return cached
+        claim = self._new_claim()
+        entry = self._data.setdefault(key, claim)
+        if entry != claim and entry[0] == _VALUE_TAG:
+            self._bump("hits")
+            value = entry[1]
+            self._l1.put(key, value)
+            return value
+        if entry != claim:  # someone else holds the claim: wait for them
+            self._bump("waits")
+            value = self._await_claim(key)
+            if value is not None:
+                self._l1.put(key, value)
+                return value
+            # Claimant vanished: fall through and compute locally.
+        self._bump("misses")
+        try:
+            value = compute()
+        except BaseException:
+            # Release the claim so waiters fail over to computing instead
+            # of stalling until the timeout.
+            with self._lock:
+                if self._data.get(key) == claim:
+                    del self._data[key]
+            raise
+        self._bump("computes")
+        self._publish(key, value)
+        self._l1.put(key, value)
+        return value
+
+    def _await_claim(self, key: Any) -> Optional[Any]:
+        deadline = time.monotonic() + self._claim_timeout
+        while time.monotonic() < deadline:
+            entry = self._data.get(key)
+            if entry is not None and entry[0] == _VALUE_TAG:
+                self._bump("hits")
+                return entry[1]
+            if entry is None:  # claim evicted or claimant gave up
+                break
+            time.sleep(self._poll_interval)
+        return None
+
+    def _publish(self, key: Any, value: Any) -> None:
+        with self._lock:
+            # The key's own claim (if any) is replaced, not added, so the
+            # projected size only grows when the key is genuinely new.
+            projected = len(self._data) + (0 if key in self._data else 1)
+            while projected > self._capacity:
+                evicted = False
+                for candidate, entry in self._data.items():
+                    # Only published values are evictable: deleting a
+                    # live *claim* would make its waiters recompute,
+                    # breaking the exactly-once guarantee.
+                    if candidate != key and entry[0] == _VALUE_TAG:
+                        del self._data[candidate]
+                        self._counters["evictions"] = (
+                            self._counters.get("evictions", 0) + 1
+                        )
+                        projected -= 1
+                        evicted = True
+                        break
+                if not evicted:
+                    # Everything else is an in-flight claim; exceed the
+                    # bound transiently rather than break the protocol.
+                    break
+            self._data[key] = (_VALUE_TAG, value)
+
+    def peek(self, key: Any) -> Optional[Any]:
+        """The value for ``key`` if fully published, else None (no counters)."""
+        cached = self._l1.peek(key)
+        if cached is not None:
+            return cached
+        entry = self._data.get(key)
+        if entry is not None and entry[0] == _VALUE_TAG:
+            return entry[1]
+        return None
+
+    def put(self, key: Any, value: Any) -> None:
+        """Publish a value unconditionally (overwrites claims and values)."""
+        self._publish(key, value)
+        self._l1.put(key, value)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def info(self) -> Dict[str, Any]:
+        """Global shared-level counters plus this process's L1 counters."""
+        with self._lock:
+            shared = dict(self._counters.items())
+        shared["size"] = len(self._data)
+        shared["l1"] = self._l1.info()
+        return shared
+
+
+class TelemetrySink:
+    """A cross-process, *bounded* buffer of solve samples.
+
+    Workers flush whole chunks of samples with one ``append`` (a single
+    manager round trip); :meth:`drain` flattens everything retained so
+    far for the calibration layer.  The buffer keeps at most
+    ``max_batches`` most-recent batches — a long-lived service records
+    telemetry forever, and calibration wants a recent window anyway
+    (old-regime samples would outvote a shifted workload).  The local
+    form uses a plain list.
+    """
+
+    def __init__(self, batches: Any, max_batches: int = 1024) -> None:
+        if max_batches < 1:
+            raise ValueError("max_batches must be at least 1")
+        self._batches = batches
+        self._max_batches = max_batches
+
+    @classmethod
+    def local(cls, max_batches: int = 1024) -> "TelemetrySink":
+        return cls([], max_batches)
+
+    @classmethod
+    def managed(cls, manager: Any, max_batches: int = 1024) -> "TelemetrySink":
+        return cls(manager.list(), max_batches)
+
+    def record(self, samples: list) -> None:
+        """Append one batch of samples, dropping the oldest when full."""
+        if samples:
+            self._batches.append(tuple(samples))
+            while len(self._batches) > self._max_batches:
+                self._batches.pop(0)
+
+    def drain(self) -> list:
+        """Return every sample recorded so far (order of arrival)."""
+        return [sample for batch in list(self._batches) for sample in batch]
+
+    def __len__(self) -> int:
+        return sum(len(batch) for batch in list(self._batches))
+
+
+@dataclass
+class ServiceStores:
+    """The picklable bundle of shared state a service threads to workers.
+
+    Any field may be None — the executor then falls back to its
+    per-context behaviour for that concern.  The bundle deliberately
+    excludes the manager itself (not picklable, owned by
+    :class:`StoreManager` in the parent).
+    """
+
+    profiles: Optional[SharedStore] = None
+    answers: Optional[SharedStore] = None
+    telemetry: Optional[TelemetrySink] = None
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "profiles": None if self.profiles is None else self.profiles.info(),
+            "answers": None if self.answers is None else self.answers.info(),
+            "telemetry_samples": None if self.telemetry is None else len(self.telemetry),
+        }
+
+
+class StoreManager:
+    """Owner of the stores' backing state (and manager process, if any).
+
+    ``shared=True`` starts one ``multiprocessing.Manager`` process and
+    backs every store with it — the configuration for a service with a
+    worker pool.  ``shared=False`` builds in-process stores with the
+    same interface and counters.  Use as a context manager or call
+    :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        shared: bool,
+        profile_capacity: int = 4096,
+        answer_capacity: int = 8192,
+        telemetry: bool = True,
+        claim_timeout: float = 30.0,
+    ) -> None:
+        self._manager = None
+        if shared:
+            import multiprocessing
+
+            self._manager = multiprocessing.Manager()
+            profiles = SharedStore.managed(
+                self._manager, capacity=profile_capacity, claim_timeout=claim_timeout
+            )
+            answers = SharedStore.managed(
+                self._manager, capacity=answer_capacity, claim_timeout=claim_timeout
+            )
+            sink = TelemetrySink.managed(self._manager) if telemetry else None
+        else:
+            profiles = SharedStore.local(capacity=profile_capacity)
+            answers = SharedStore.local(capacity=answer_capacity)
+            sink = TelemetrySink.local() if telemetry else None
+        self.stores = ServiceStores(profiles=profiles, answers=answers, telemetry=sink)
+
+    @property
+    def shared(self) -> bool:
+        """True when a manager process backs the stores."""
+        return self._manager is not None
+
+    def close(self) -> None:
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+
+    def __enter__(self) -> "StoreManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

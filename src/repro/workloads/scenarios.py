@@ -39,7 +39,17 @@ scenario               what it stresses
 =====================  ====================================================
 
 All randomness flows through an explicit ``random.Random(seed)``; the
-same name, count and seed always produce the identical scenario.
+same name, count, seed and scale always produce the identical scenario.
+
+**Scaling.**  Every builder takes a ``scale ≥ 1`` knob that grows the
+*database* side only — universes grow linearly in ``scale`` and each
+scenario's table row counts land within a constant factor of
+``scale × base rows``, into the thousands-of-rows regime at ``scale ≈
+10``.  The query batch is untouched (its RNG stream is consumed before
+the database is built), so classification work is identical at every
+scale and a scaled run stresses exactly what a production service would:
+target indexes, statistics, join fan-out and memory — not pattern-side
+CPU (ROADMAP "scenario realism").
 """
 
 from __future__ import annotations
@@ -227,9 +237,9 @@ def _shape_pool(rng: random.Random, count: int, shapes: Sequence[Callable[[], Co
     return tuple(rng.choice(shapes)() for _ in range(count))
 
 
-def _grid_walks(count: int, seed: int) -> EvalScenario:
+def _grid_walks(count: int, seed: int, scale: int = 1) -> EvalScenario:
     rng = random.Random(seed)
-    side = 6
+    side = max(6, round(6 * scale ** 0.5))
     shapes = [
         lambda: path_query(rng.randint(1, 4)),
         lambda: cycle_query(2 * rng.randint(2, 3)),   # even cycles exist in grids
@@ -243,9 +253,9 @@ def _grid_walks(count: int, seed: int) -> EvalScenario:
     )
 
 
-def _expander_mix(count: int, seed: int) -> EvalScenario:
+def _expander_mix(count: int, seed: int, scale: int = 1) -> EvalScenario:
     rng = random.Random(seed)
-    n = 31
+    n = 31 * scale
     shapes = [
         lambda: path_query(rng.randint(1, 4)),
         lambda: cycle_query(rng.randint(3, 5)),
@@ -260,27 +270,27 @@ def _expander_mix(count: int, seed: int) -> EvalScenario:
     )
 
 
-def _long_paths(count: int, seed: int) -> EvalScenario:
+def _long_paths(count: int, seed: int, scale: int = 1) -> EvalScenario:
     rng = random.Random(seed)
     return EvalScenario(
         "long_paths",
         "long acyclic path queries on a sparse random database (PATH-regime load)",
         tuple(path_query(rng.randint(5, 17)) for _ in range(count)),
-        dense_graph_database(24, edge_probability=0.12, seed=seed),
+        dense_graph_database(24 * scale, edge_probability=0.12 / scale, seed=seed),
     )
 
 
-def _stars_skewed(count: int, seed: int) -> EvalScenario:
+def _stars_skewed(count: int, seed: int, scale: int = 1) -> EvalScenario:
     rng = random.Random(seed)
     return EvalScenario(
         "stars_skewed",
         "star queries on a Zipf-skewed database (celebrity fan-out)",
         tuple(star_query(rng.randint(2, 6)) for _ in range(count)),
-        skewed_database(40, rows_per_table=160, skew=1.5, seed=seed),
+        skewed_database(40 * scale, rows_per_table=160 * scale, skew=1.5, seed=seed),
     )
 
 
-def _cycles_dense(count: int, seed: int) -> EvalScenario:
+def _cycles_dense(count: int, seed: int, scale: int = 1) -> EvalScenario:
     rng = random.Random(seed)
     shapes = [
         lambda: cycle_query(2 * rng.randint(1, 4) + 1),
@@ -291,21 +301,21 @@ def _cycles_dense(count: int, seed: int) -> EvalScenario:
         "cycles_dense",
         "odd-cycle and clique queries on a dense database (all four regimes)",
         _shape_pool(rng, count, shapes),
-        dense_graph_database(18, edge_probability=0.45, seed=seed),
+        dense_graph_database(18 * scale, edge_probability=0.45 / scale, seed=seed),
     )
 
 
-def _acyclic_random(count: int, seed: int) -> EvalScenario:
+def _acyclic_random(count: int, seed: int, scale: int = 1) -> EvalScenario:
     rng = random.Random(seed)
     return EvalScenario(
         "acyclic_random",
         "random tree-shaped queries (easy cores, treedepth route)",
         tuple(random_acyclic_query(rng, rng.randint(3, 6)) for _ in range(count)),
-        dense_graph_database(20, edge_probability=0.25, seed=seed),
+        dense_graph_database(20 * scale, edge_probability=0.25 / scale, seed=seed),
     )
 
 
-def _folded_cores(count: int, seed: int) -> EvalScenario:
+def _folded_cores(count: int, seed: int, scale: int = 1) -> EvalScenario:
     rng = random.Random(seed)
     shapes = [
         lambda: undirected_tree_query(rng, rng.randint(10, 16)),
@@ -317,11 +327,11 @@ def _folded_cores(count: int, seed: int) -> EvalScenario:
         "symmetric trees / long undirected paths (fold to a single edge) "
         "and even cycles (one short search) — collapsing-core patterns",
         _shape_pool(rng, count, shapes),
-        grid_database(6, 6),
+        grid_database(max(6, round(6 * scale ** 0.5)), max(6, round(6 * scale ** 0.5))),
     )
 
 
-def _rigid_cycles(count: int, seed: int) -> EvalScenario:
+def _rigid_cycles(count: int, seed: int, scale: int = 1) -> EvalScenario:
     rng = random.Random(seed)
     shapes = [
         lambda: undirected_cycle_query(2 * rng.randint(3, 6) + 1),
@@ -333,11 +343,11 @@ def _rigid_cycles(count: int, seed: int) -> EvalScenario:
         "paths (AC-rigid certificate) — big certified-rigid cores on the "
         "PATH route",
         _shape_pool(rng, count, shapes),
-        dense_graph_database(16, edge_probability=0.4, seed=seed),
+        dense_graph_database(16 * scale, edge_probability=0.4 / scale, seed=seed),
     )
 
 
-def _deep_cores(count: int, seed: int) -> EvalScenario:
+def _deep_cores(count: int, seed: int, scale: int = 1) -> EvalScenario:
     rng = random.Random(seed)
     shapes = [
         lambda: undirected_cycle_query(2 * rng.randint(6, 12) + 1),  # C13..C25
@@ -350,7 +360,7 @@ def _deep_cores(count: int, seed: int) -> EvalScenario:
         "folded grid queries — exact treedepth at the scale the subset DP "
         "could not reach",
         _shape_pool(rng, count, shapes),
-        dense_graph_database(16, edge_probability=0.4, seed=seed),
+        dense_graph_database(16 * scale, edge_probability=0.4 / scale, seed=seed),
     )
 
 
@@ -359,7 +369,7 @@ def _deep_cores(count: int, seed: int) -> EvalScenario:
 MIXED_TABLES: Dict[str, int] = {"E": 2, "L": 2, "R": 3, "C1": 1, "C2": 1}
 
 
-def _mixed_vocabulary(count: int, seed: int) -> EvalScenario:
+def _mixed_vocabulary(count: int, seed: int, scale: int = 1) -> EvalScenario:
     rng = random.Random(seed)
     queries = []
     for _ in range(count):
@@ -381,7 +391,7 @@ def _mixed_vocabulary(count: int, seed: int) -> EvalScenario:
         "mixed_vocabulary",
         "random queries across three sub-schemas of a five-table database",
         tuple(queries),
-        mixed_vocabulary_database(42, rows_per_table=160, seed=seed),
+        mixed_vocabulary_database(42 * scale, rows_per_table=160 * scale, seed=seed),
     )
 
 
@@ -404,17 +414,28 @@ def all_scenario_names() -> Tuple[str, ...]:
     return tuple(sorted(_SCENARIO_BUILDERS))
 
 
-def scenario_by_name(name: str, count: int = 50, seed: int = 0) -> EvalScenario:
-    """Build the named scenario with ``count`` queries, deterministically."""
+def scenario_by_name(
+    name: str, count: int = 50, seed: int = 0, scale: int = 1
+) -> EvalScenario:
+    """Build the named scenario with ``count`` queries, deterministically.
+
+    ``scale`` grows the database side only (see the module docstring):
+    the query batch at ``(name, count, seed)`` is identical at every
+    scale, and ``scale=1`` reproduces the historical scenarios exactly.
+    """
+    if scale < 1:
+        raise ValueError("scale must be at least 1")
     try:
         builder = _SCENARIO_BUILDERS[name]
     except KeyError:
         raise KeyError(
             f"unknown scenario {name!r}; known: {sorted(_SCENARIO_BUILDERS)}"
         ) from None
-    return builder(count, seed)
+    return builder(count, seed, scale)
 
 
-def all_scenarios(count: int = 50, seed: int = 0) -> List[EvalScenario]:
+def all_scenarios(count: int = 50, seed: int = 0, scale: int = 1) -> List[EvalScenario]:
     """Build every registered scenario at the given scale."""
-    return [scenario_by_name(name, count, seed) for name in all_scenario_names()]
+    return [
+        scenario_by_name(name, count, seed, scale) for name in all_scenario_names()
+    ]

@@ -231,3 +231,63 @@ class TestEngineBackedPublicApi:
         assert profile.core_certificate == "odd-cycle"
         profile = classify_structure(cycle(6))
         assert profile.core_certificate == "clique"  # the folded 2-element core
+
+
+class TestFoldBatching:
+    """fold_reduce applies independent fold *sets* per pass, cutting the
+    structure/index rebuilds from one per fold to one per pass."""
+
+    def test_batch_folds_compose_to_an_endomorphism(self):
+        from repro.homomorphism import find_fold_batch
+
+        for structure in (path(9), grid(3, 4), star(5)):
+            batch = find_fold_batch(structure)
+            assert batch, structure
+            mapping = dict(batch)
+            combined = {
+                x: mapping.get(x, x) for x in structure.universe
+            }
+            assert is_homomorphism(combined, structure, structure)
+            # Targets survive the batch: nothing maps to a removed element.
+            assert not (set(combined.values()) & set(mapping))
+
+    def test_first_batched_fold_matches_find_fold(self):
+        from repro.homomorphism import find_fold_batch
+
+        for structure in (path(7), grid(2, 4)):
+            assert find_fold_batch(structure)[0] == find_fold(structure)
+
+    def test_batch_empty_exactly_when_no_fold_exists(self):
+        from repro.homomorphism import find_fold_batch
+
+        for structure in (cycle(5), directed_path(6), clique(4)):
+            assert find_fold_batch(structure) == []
+
+    def test_fold_reduce_unchanged_semantics_on_random_graphs(self):
+        for seed in range(12):
+            structure = random_graph_structure(7, 0.3, seed=seed)
+            folded, retraction, count = fold_reduce(structure)
+            assert count == len(structure) - len(folded)
+            assert set(retraction) == set(structure.universe)
+            assert set(retraction.values()) == set(folded.universe)
+            assert is_homomorphism(retraction, structure, structure)
+            assert find_fold(folded) is None  # really a fold fixpoint
+
+    def test_rebuilds_are_per_pass_not_per_fold(self, monkeypatch):
+        import repro.homomorphism.core_engine as engine
+
+        built = []
+        original = engine.StructureIndex
+
+        class CountingIndex(original):
+            def __init__(self, structure, *args, **kwargs):
+                built.append(len(structure))
+                super().__init__(structure, *args, **kwargs)
+
+        monkeypatch.setattr(engine, "StructureIndex", CountingIndex)
+        structure = path(13)  # 13 elements fold to 2: 11 folds
+        folded, _, count = engine.fold_reduce(structure)
+        assert count == 11 and len(folded) == 2
+        # The per-fold loop rebuilt once per fold (≥ 12 indexes); batching
+        # needs one per pass plus the initial build — far fewer.
+        assert len(built) <= 7, built

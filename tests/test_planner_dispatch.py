@@ -304,3 +304,77 @@ class TestPlanCache:
                 direct = plan_query(profile, stats, config)
                 assert cached.degree is direct.degree
                 assert cached.estimates == direct.estimates
+
+
+class TestCertificateAwarePlanning:
+    """The cost model reads StructureProfile.core_certificate: symmetric
+    certificates ("clique", "odd-cycle") discount the branching base;
+    identity-only rigidity ("ac-rigid") and search-proven cores do not."""
+
+    def _stats(self):
+        return DatabaseStatistics(
+            universe_size=50,
+            total_tuples=400,
+            relation_sizes={"E": 400},
+            fan_out={"E": 8.0},
+        )
+
+    def _profile(self, certificate):
+        structure = cycle(5)
+        return StructureProfile(
+            structure=structure,
+            core=structure,
+            core_treewidth=2,
+            core_pathwidth=2,
+            core_treedepth=3,
+            core_certificate=certificate,
+        )
+
+    @pytest.mark.parametrize("certificate", ["clique", "odd-cycle"])
+    def test_symmetric_certificates_lower_every_estimate(self, certificate):
+        stats = self._stats()
+        plain = estimate_route_costs(self._profile(None), stats)
+        discounted = estimate_route_costs(self._profile(certificate), stats)
+        for degree in plain:
+            assert discounted[degree] < plain[degree]
+
+    @pytest.mark.parametrize("certificate", [None, "ac-rigid", "singleton"])
+    def test_rigid_and_searched_cores_keep_full_branching(self, certificate):
+        stats = self._stats()
+        baseline = estimate_route_costs(self._profile(None), stats)
+        assert estimate_route_costs(self._profile(certificate), stats) == baseline
+
+    def test_discount_of_one_disables_the_adjustment(self):
+        stats = self._stats()
+        config = PlannerConfig(symmetry_discount=1.0)
+        assert estimate_route_costs(
+            self._profile("clique"), stats, config
+        ) == estimate_route_costs(self._profile(None), stats, config)
+
+    def test_invalid_discount_rejected(self):
+        with pytest.raises(ValueError):
+            PlannerConfig(symmetry_discount=0.0)
+        with pytest.raises(ValueError):
+            PlannerConfig(symmetry_discount=1.5)
+
+    def test_real_odd_cycle_profile_carries_the_discount(self):
+        profile = classify_structure(cycle(7))
+        assert profile.core_certificate == "odd-cycle"
+        stats = self._stats()
+        rigid = classify_structure(directed_path(8))
+        assert rigid.core_certificate == "ac-rigid"
+        from repro.eval import route_raw_units
+
+        # Same branching statistic, but only the odd cycle sees it discounted.
+        discounted = route_raw_units(profile, stats)[ComplexityDegree.W1_HARD]
+        config_off = PlannerConfig(symmetry_discount=1.0)
+        full = route_raw_units(profile, stats, config_off)[ComplexityDegree.W1_HARD]
+        assert discounted < full
+
+    def test_threshold_routing_unaffected_by_certificates(self):
+        # The discount shapes estimates only; threshold mode still routes
+        # by the width thresholds.
+        stats = self._stats()
+        plan_plain = plan_query(self._profile(None), stats)
+        plan_cert = plan_query(self._profile("odd-cycle"), stats)
+        assert plan_plain.degree is plan_cert.degree

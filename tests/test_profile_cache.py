@@ -150,3 +150,24 @@ class TestBoundedLRU:
         cache.get("a")
         cache.clear()
         assert cache.info() == {"hits": 0, "misses": 0, "size": 0}
+
+
+class TestGetOrPut:
+    def test_computes_once_then_serves_from_cache(self):
+        from repro.caching import BoundedLRU
+
+        cache = BoundedLRU(4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_put("k", lambda: calls.append(1) or "v")
+        assert value == "v"
+        assert len(calls) == 1
+        assert cache.info() == {"hits": 2, "misses": 1, "size": 1}
+
+    def test_eviction_still_applies(self):
+        from repro.caching import BoundedLRU
+
+        cache = BoundedLRU(2)
+        for i in range(3):
+            cache.get_or_put(i, lambda i=i: i * 10)
+        assert 0 not in cache and 2 in cache

@@ -1,0 +1,241 @@
+"""Tests for the shared cross-worker stores (:mod:`repro.service.store`).
+
+The multi-process tests run the same probe under both the ``fork`` and
+``spawn`` start methods: under fork the store object reaches workers by
+memory inheritance (no unpickling), under spawn by pickling — the claim
+protocol must deliver exactly-once computes either way (the fork path is
+exactly where a construction-time claim token would break).
+"""
+
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.service.store import ServiceStores, SharedStore, StoreManager, TelemetrySink
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+# ---------------------------------------------------------------------------
+# module-level probes (spawn pickles them by reference)
+# ---------------------------------------------------------------------------
+
+def _probe(args):
+    """Hammer the store: compute-or-get every key, return observed values."""
+    store, keys, delay = args
+    out = {}
+    for key in keys:
+        out[key] = store.get_or_compute(key, lambda k=key: _slow_value(k, delay))
+    return out
+
+
+def _slow_value(key, delay):
+    import os
+
+    time.sleep(delay)
+    return (key, os.getpid())
+
+
+def _run_pool(method, store, keys, tasks=4, workers=2, delay=0.01):
+    import multiprocessing
+
+    context = multiprocessing.get_context(method)
+    with context.Pool(processes=workers) as pool:
+        results = pool.map(_probe, [(store, keys, delay)] * tasks)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# single-process semantics
+# ---------------------------------------------------------------------------
+
+class TestLocalStore:
+    def test_compute_once_then_hits(self):
+        store = SharedStore.local()
+        calls = []
+        for _ in range(3):
+            value = store.get_or_compute("k", lambda: calls.append(1) or "v")
+            assert value == "v"
+        assert len(calls) == 1
+        info = store.info()
+        assert info["computes"] == 1
+        # The first lookup misses, the rest are L1 hits (not shared hits).
+        assert info["misses"] == 1
+        assert info["l1"]["hits"] == 2
+
+    def test_peek_never_computes(self):
+        store = SharedStore.local()
+        assert store.peek("absent") is None
+        store.put("k", 42)
+        assert store.peek("k") == 42
+        assert store.info()["computes"] == 0
+
+    def test_shared_level_eviction_at_capacity(self):
+        store = SharedStore.local(capacity=3, l1_capacity=1)
+        for i in range(5):
+            store.get_or_compute(i, lambda i=i: i * 10)
+        info = store.info()
+        assert info["size"] == 3
+        assert info["evictions"] == 2
+        # Evicted keys recompute; survivors are served from the store.
+        assert store.get_or_compute(4, lambda: -1) == 40
+
+    def test_eviction_never_removes_live_claims(self):
+        store = SharedStore.local(capacity=2, l1_capacity=1)
+        # A claim in flight (as another process would leave mid-compute).
+        claim = store._new_claim()
+        store._data.setdefault("claimed", claim)
+        store.get_or_compute("a", lambda: 1)
+        store.get_or_compute("b", lambda: 2)  # over capacity: must evict a value
+        assert store._data.get("claimed") == claim
+        assert store.info()["evictions"] >= 1
+
+    def test_eviction_tolerates_all_claim_contents(self):
+        store = SharedStore.local(capacity=1, l1_capacity=1)
+        store._data.setdefault("c1", store._new_claim())
+        # Publishing with only claims present exceeds the bound
+        # transiently instead of breaking the protocol.
+        store.put("k", "v")
+        assert store.peek("k") == "v"
+        assert "c1" in store._data
+
+    def test_compute_exception_releases_claim(self):
+        store = SharedStore.local()
+        with pytest.raises(RuntimeError):
+            store.get_or_compute("k", self._boom)
+        # The key is claimable again immediately, not wedged.
+        assert store.get_or_compute("k", lambda: "ok") == "ok"
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("compute failed")
+
+    def test_invalid_capacities_rejected(self):
+        with pytest.raises(ValueError):
+            SharedStore.local(capacity=0)
+
+    def test_concurrent_threads_share_one_compute(self):
+        store = SharedStore.local()
+        computes = []
+
+        def compute():
+            computes.append(1)
+            time.sleep(0.05)
+            return "value"
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(store.get_or_compute("k", compute))
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == ["value"] * 4
+        assert len(computes) == 1
+        assert store.info()["waits"] == 3
+
+
+class TestPickling:
+    def test_pickled_managed_store_shares_level_but_not_l1(self):
+        with StoreManager(shared=True) as manager:
+            store = manager.stores.profiles
+            store.get_or_compute("k", lambda: "v")
+            assert store.info()["l1"]["size"] == 1
+            clone = pickle.loads(pickle.dumps(store))
+            # Fresh private L1, same live shared level.
+            assert clone.info()["l1"]["size"] == 0
+            assert clone.peek("k") == "v"
+            clone.put("k2", "w")
+            assert store.peek("k2") == "w"
+
+
+class TestTelemetrySink:
+    def test_record_and_drain(self):
+        sink = TelemetrySink.local()
+        sink.record([1, 2])
+        sink.record([])  # no-op
+        sink.record([3])
+        assert sink.drain() == [1, 2, 3]
+        assert len(sink) == 3
+
+    def test_bounded_retention_drops_oldest_batches(self):
+        sink = TelemetrySink.local(max_batches=2)
+        for batch in ([1], [2], [3], [4]):
+            sink.record(batch)
+        assert sink.drain() == [3, 4]
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            TelemetrySink.local(max_batches=0)
+
+    def test_service_stores_info_shape(self):
+        stores = ServiceStores(
+            profiles=SharedStore.local(), answers=None, telemetry=TelemetrySink.local()
+        )
+        info = stores.info()
+        assert info["answers"] is None
+        assert info["profiles"]["computes"] == 0
+        assert info["telemetry_samples"] == 0
+
+
+# ---------------------------------------------------------------------------
+# multi-process semantics, fork and spawn
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("method", ["fork", "spawn"])
+class TestMultiProcess:
+    def test_exactly_once_compute_per_distinct_key(self, method):
+        with StoreManager(shared=True) as manager:
+            store = manager.stores.profiles
+            keys = [f"key{i}" for i in range(8)]
+            results = _run_pool(method, store, keys)
+            info = store.info()
+            # The dedup guarantee: one compute per distinct key for the
+            # whole store lifetime, across every worker and task.
+            assert info["computes"] == len(keys), info
+            assert info["size"] == len(keys)
+            # Every caller observed the same value per key (the value
+            # records the pid that computed it, so equality means the
+            # losers really consumed the winner's result).
+            merged = {}
+            for result in results:
+                for key, value in result.items():
+                    assert merged.setdefault(key, value) == value
+
+    def test_eviction_is_visible_across_processes(self, method):
+        with StoreManager(shared=True) as manager:
+            # Shrink the shared level so the second wave must evict.
+            store = manager.stores.profiles
+            store._capacity = 4
+            _run_pool(method, store, [f"a{i}" for i in range(4)], tasks=1, workers=2)
+            _run_pool(method, store, [f"b{i}" for i in range(4)], tasks=1, workers=2)
+            info = store.info()
+            assert info["size"] <= 4
+            assert info["evictions"] >= 4
+
+    def test_telemetry_sink_collects_from_workers(self, method):
+        with StoreManager(shared=True) as manager:
+            sink = manager.stores.telemetry
+            _run_sink_pool(method, sink)
+            samples = sink.drain()
+            assert sorted(samples) == [0, 1, 2, 3]
+
+
+def _sink_probe(args):
+    sink, payload = args
+    sink.record(payload)
+    return True
+
+
+def _run_sink_pool(method, sink):
+    import multiprocessing
+
+    context = multiprocessing.get_context(method)
+    with context.Pool(processes=2) as pool:
+        pool.map(_sink_probe, [(sink, [0, 1]), (sink, [2, 3])])
