@@ -24,7 +24,7 @@ from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.classification.degrees import ComplexityDegree, degree_from_width_bounds
 from repro.decomposition.treedepth import EliminationForest
-from repro.decomposition.width import width_profile_with_forest
+from repro.decomposition.width import width_profile_report_with_forest
 from repro.exceptions import ClassificationError
 from repro.homomorphism.core_engine import compute_core
 from repro.structures.structure import Structure
@@ -45,6 +45,13 @@ class StructureProfile:
     the reported depth (optimal within the treedepth engine's exact
     window, the heuristic DFS forest beyond it).  The para-L solver route
     consumes it directly instead of recomputing a forest per solve.
+
+    The ``core_*_exact`` flags carry the per-measure certification status
+    from :func:`repro.decomposition.width.width_profile_report_with_forest`:
+    True when the value came from an exact engine window or a recognised
+    closed-form shape, False when it is a heuristic upper bound.  The
+    planner reads them to know whether a route decision rests on a
+    certified width or on a guess.
     """
 
     structure: Structure
@@ -54,6 +61,9 @@ class StructureProfile:
     core_treedepth: int
     core_certificate: Optional[str] = None
     core_elimination_forest: Optional[EliminationForest] = None
+    core_treewidth_exact: bool = True
+    core_pathwidth_exact: bool = True
+    core_treedepth_exact: bool = True
 
     @property
     def core_size(self) -> int:
@@ -130,15 +140,18 @@ def classify_structure(structure: Structure) -> StructureProfile:
     query patterns the workload scenarios generate.
     """
     computation = compute_core(structure)
-    (tw, pw, td), forest = width_profile_with_forest(computation.core)
+    report, forest = width_profile_report_with_forest(computation.core)
     return StructureProfile(
         structure,
         computation.core,
-        tw,
-        pw,
-        td,
+        report.treewidth.value,
+        report.pathwidth.value,
+        report.treedepth.value,
         core_certificate=computation.certificate,
         core_elimination_forest=forest,
+        core_treewidth_exact=report.treewidth.exact,
+        core_pathwidth_exact=report.pathwidth.exact,
+        core_treedepth_exact=report.treedepth.exact,
     )
 
 

@@ -1,6 +1,13 @@
-"""Exact treewidth and pathwidth for small graphs.
+"""Exact treewidth and pathwidth.
 
-Both are computed by dynamic programming over vertex subsets:
+The public entry points (:func:`exact_treewidth`, :func:`exact_pathwidth`
+and their ordering/layout variants) delegate to the branch-and-bound
+engines of :mod:`repro.decomposition.width_engine`, which handle the
+13–25-element window the seed subset DPs could not reach.
+
+The seed algorithms are kept verbatim as ``legacy_exact_*`` for
+differential testing (``tests/test_width_engines.py`` and
+``benchmarks/bench_width_engines.py`` gate the engines against them):
 
 * **pathwidth** uses the vertex-separation formulation: a layout is built
   one vertex at a time and the state is the set of already-placed vertices;
@@ -10,10 +17,6 @@ Both are computed by dynamic programming over vertex subsets:
   the minimum over orderings of the maximum "later neighbourhood" in the
   fill-in graph), again with a subset DP where ``Q(S, v)`` — the set of
   vertices reachable from ``v`` through ``S`` — gives the bag size.
-
-Both are exponential and intended for the parameter-sized left-hand
-structures only; the benchmark harness uses the heuristics of
-:mod:`repro.decomposition.heuristics` for large graphs.
 """
 
 from __future__ import annotations
@@ -53,6 +56,38 @@ def _reachable_through(
 
 
 def exact_treewidth(graph: Graph) -> int:
+    """Return the exact treewidth of ``graph`` (branch-and-bound engine)."""
+    from repro.decomposition.width_engine import engine_treewidth
+
+    return engine_treewidth(graph)
+
+
+def exact_treewidth_ordering(graph: Graph) -> Tuple[int, List[Vertex]]:
+    """Return ``(treewidth, optimal elimination ordering)``."""
+    from repro.decomposition.width_engine import engine_treewidth_ordering
+
+    return engine_treewidth_ordering(graph)
+
+
+def exact_pathwidth(graph: Graph) -> int:
+    """Return the exact pathwidth of ``graph`` (branch-and-bound engine)."""
+    from repro.decomposition.width_engine import engine_pathwidth
+
+    return engine_pathwidth(graph)
+
+
+def exact_pathwidth_layout(graph: Graph) -> Tuple[int, List[Vertex]]:
+    """Return ``(pathwidth, optimal linear layout)``.
+
+    The layout realises the pathwidth through
+    :func:`repro.decomposition.path_decomposition.path_decomposition_from_ordering`.
+    """
+    from repro.decomposition.width_engine import engine_pathwidth_layout
+
+    return engine_pathwidth_layout(graph)
+
+
+def legacy_exact_treewidth(graph: Graph) -> int:
     """Return the exact treewidth of ``graph`` (O*(2^n) subset DP)."""
     n = len(graph)
     if n == 0:
@@ -81,8 +116,8 @@ def exact_treewidth(graph: Graph) -> int:
     return result
 
 
-def exact_treewidth_ordering(graph: Graph) -> Tuple[int, List[Vertex]]:
-    """Return ``(treewidth, optimal elimination ordering)``."""
+def legacy_exact_treewidth_ordering(graph: Graph) -> Tuple[int, List[Vertex]]:
+    """Return ``(treewidth, optimal elimination ordering)`` via the seed DP."""
     n = len(graph)
     if n == 0:
         raise DecompositionError("treewidth of the empty graph is undefined")
@@ -122,18 +157,14 @@ def exact_treewidth_ordering(graph: Graph) -> Tuple[int, List[Vertex]]:
     return width, ordering
 
 
-def exact_pathwidth(graph: Graph) -> int:
+def legacy_exact_pathwidth(graph: Graph) -> int:
     """Return the exact pathwidth of ``graph`` (vertex-separation subset DP)."""
-    width, _ = exact_pathwidth_layout(graph)
+    width, _ = legacy_exact_pathwidth_layout(graph)
     return width
 
 
-def exact_pathwidth_layout(graph: Graph) -> Tuple[int, List[Vertex]]:
-    """Return ``(pathwidth, optimal linear layout)``.
-
-    The layout realises the pathwidth through
-    :func:`repro.decomposition.path_decomposition.path_decomposition_from_ordering`.
-    """
+def legacy_exact_pathwidth_layout(graph: Graph) -> Tuple[int, List[Vertex]]:
+    """Return ``(pathwidth, optimal linear layout)`` via the seed DP."""
     n = len(graph)
     if n == 0:
         raise DecompositionError("pathwidth of the empty graph is undefined")

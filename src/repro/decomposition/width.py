@@ -10,6 +10,7 @@ the heuristics.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Tuple
 
 from repro.decomposition.exact import (
@@ -23,6 +24,11 @@ from repro.decomposition.heuristics import (
     min_fill_ordering,
     ordering_width,
     vertex_separation_of_layout,
+)
+from repro.decomposition.width_engine import (
+    engine_pathwidth,
+    recognized_pathwidth,
+    recognized_treewidth,
 )
 from repro.decomposition.path_decomposition import (
     PathDecomposition,
@@ -41,11 +47,19 @@ from repro.graphlib.graph import Graph
 from repro.structures.gaifman import gaifman_graph
 from repro.structures.structure import Structure
 
-#: Above this many vertices the facade switches from exact to heuristic.
-#: The exact algorithms are subset dynamic programs, so 12 vertices (4096
-#: subsets) keeps them interactive while covering every parameter-sized
-#: pattern the tests and benchmarks use.
+#: The historical exact window of the seed subset DPs (kept for reference
+#: and for callers that want the legacy differential baseline); the facade
+#: itself now uses the per-measure engine windows below.
 EXACT_SIZE_LIMIT = 12
+
+#: Treewidth and pathwidth exactness windows of the branch-and-bound
+#: engines in :mod:`repro.decomposition.width_engine`.  Like the treedepth
+#: engine before them they cover the 13–25-element Gaifman graphs of the
+#: big rigid cores, and beyond the window the facade still answers exactly
+#: when every component is a recognised closed-form shape (path / star /
+#: cycle / clique / grid).
+TREEWIDTH_EXACT_SIZE_LIMIT = 25
+PATHWIDTH_EXACT_SIZE_LIMIT = 25
 
 #: Tree depth keeps exactness further out: the branch-and-bound engine of
 #: :mod:`repro.decomposition.treedepth_engine` handles the 13–25 element
@@ -69,9 +83,17 @@ def treewidth(structure: Structure, exact: bool | None = None) -> int:
 
 
 def graph_treewidth(graph: Graph, exact: bool | None = None) -> int:
-    """Treewidth of a graph, exact or heuristic (see :func:`treewidth`)."""
+    """Treewidth of a graph: exact through the branch-and-bound engine up
+    to :data:`TREEWIDTH_EXACT_SIZE_LIMIT` vertices (and at any size for
+    recognised closed-form shapes), min-fill upper bound beyond."""
     if exact is None:
-        exact = len(graph) <= EXACT_SIZE_LIMIT
+        if len(graph) <= TREEWIDTH_EXACT_SIZE_LIMIT:
+            exact = True
+        else:
+            recognised = recognized_treewidth(graph)
+            if recognised is not None:
+                return recognised
+            exact = False
     if exact:
         return exact_treewidth(graph)
     return ordering_width(graph, min_fill_ordering(graph))
@@ -84,9 +106,17 @@ def pathwidth(structure: Structure, exact: bool | None = None) -> int:
 
 
 def graph_pathwidth(graph: Graph, exact: bool | None = None) -> int:
-    """Pathwidth of a graph, exact or heuristic."""
+    """Pathwidth of a graph: exact through the branch-and-bound engine up
+    to :data:`PATHWIDTH_EXACT_SIZE_LIMIT` vertices (and at any size for
+    recognised closed-form shapes), BFS-layout upper bound beyond."""
     if exact is None:
-        exact = len(graph) <= EXACT_SIZE_LIMIT
+        if len(graph) <= PATHWIDTH_EXACT_SIZE_LIMIT:
+            exact = True
+        else:
+            recognised = recognized_pathwidth(graph)
+            if recognised is not None:
+                return recognised
+            exact = False
     if exact:
         return exact_pathwidth(graph)
     layout = bfs_layout(graph)
@@ -150,9 +180,13 @@ def optimal_elimination_forest(structure: Structure) -> EliminationForest:
 
 
 def good_tree_decomposition(structure: Structure) -> TreeDecomposition:
-    """Return a tree decomposition: optimal for small Gaifman graphs, min-fill otherwise."""
+    """Return a tree decomposition: width-optimal (engine witness) within
+    the exact window or for recognised shapes, min-fill otherwise."""
     graph = gaifman_graph(structure)
-    if len(graph) <= EXACT_SIZE_LIMIT:
+    if (
+        len(graph) <= TREEWIDTH_EXACT_SIZE_LIMIT
+        or recognized_treewidth(graph) is not None
+    ):
         _, ordering = exact_treewidth_ordering(graph)
     else:
         ordering = min_fill_ordering(graph)
@@ -160,25 +194,110 @@ def good_tree_decomposition(structure: Structure) -> TreeDecomposition:
 
 
 def good_path_decomposition(structure: Structure) -> PathDecomposition:
-    """Return a path decomposition: optimal for small Gaifman graphs, BFS layout otherwise."""
+    """Return a path decomposition: width-optimal (engine witness) within
+    the exact window or for recognised shapes, BFS layout otherwise."""
     graph = gaifman_graph(structure)
-    if len(graph) <= EXACT_SIZE_LIMIT:
+    if (
+        len(graph) <= PATHWIDTH_EXACT_SIZE_LIMIT
+        or recognized_pathwidth(graph) is not None
+    ):
         _, layout = exact_pathwidth_layout(graph)
     else:
         layout = bfs_layout(graph)
     return path_decomposition_from_ordering(graph, layout)
 
 
+@dataclass(frozen=True)
+class WidthMeasure:
+    """One width measure with its certification status.
+
+    ``exact=True`` means the value is certified (engine window or a
+    recognised closed-form shape); ``exact=False`` marks a heuristic
+    upper bound — the 13–25 window used to report those with no flag at
+    all, which is exactly what routed planners onto guesses.
+    """
+
+    value: int
+    exact: bool
+
+
+@dataclass(frozen=True)
+class WidthProfileReport:
+    """The three width measures of a structure, each with an exactness flag."""
+
+    treewidth: WidthMeasure
+    pathwidth: WidthMeasure
+    treedepth: WidthMeasure
+
+    def values(self) -> Tuple[int, int, int]:
+        """The bare ``(tw, pw, td)`` triple (legacy profile shape)."""
+        return (self.treewidth.value, self.pathwidth.value, self.treedepth.value)
+
+
 def width_profile(structure: Structure, exact: bool | None = None) -> Tuple[int, int, int]:
     """Return ``(treewidth, pathwidth, tree depth)`` of the structure.
 
-    Exact for Gaifman graphs of at most :data:`EXACT_SIZE_LIMIT` vertices
-    (or when ``exact=True`` is forced), heuristic upper bounds beyond that
-    — the same policy as the individual facade functions.  Tree depth
-    keeps its wider exact window (:data:`TREEDEPTH_EXACT_SIZE_LIMIT`).
+    Exact within the per-measure engine windows
+    (:data:`TREEWIDTH_EXACT_SIZE_LIMIT`, :data:`PATHWIDTH_EXACT_SIZE_LIMIT`,
+    :data:`TREEDEPTH_EXACT_SIZE_LIMIT`) and for recognised closed-form
+    shapes beyond; heuristic upper bounds otherwise.  Use
+    :func:`width_profile_report` for per-measure exactness flags.
     """
     profile, _ = width_profile_with_forest(structure, exact)
     return profile
+
+
+def width_profile_report(
+    structure: Structure, exact: bool | None = None
+) -> WidthProfileReport:
+    """Return the width profile with a per-measure ``exact`` marker."""
+    report, _ = width_profile_report_with_forest(structure, exact)
+    return report
+
+
+def width_profile_report_with_forest(
+    structure: Structure, exact: bool | None = None
+) -> Tuple[WidthProfileReport, EliminationForest]:
+    """Return the flagged width profile plus the tree-depth witness forest.
+
+    The exact pathwidth search is seeded with the exact treewidth as a
+    lower bound (``pw ≥ tw``), so computing the full profile is cheaper
+    than computing the measures separately.
+    """
+    graph = gaifman_graph(structure)
+    forest = graph_elimination_forest(graph, exact)
+    size = len(graph)
+
+    if exact is True or (exact is None and size <= TREEWIDTH_EXACT_SIZE_LIMIT):
+        tw = WidthMeasure(exact_treewidth(graph), True)
+    else:
+        recognised = None if exact is False else recognized_treewidth(graph)
+        if recognised is not None:
+            tw = WidthMeasure(recognised, True)
+        else:
+            tw = WidthMeasure(ordering_width(graph, min_fill_ordering(graph)), False)
+
+    if exact is True or (exact is None and size <= PATHWIDTH_EXACT_SIZE_LIMIT):
+        hint = tw.value if tw.exact else 0
+        pw = WidthMeasure(engine_pathwidth(graph, lower_hint=hint), True)
+    else:
+        recognised = None if exact is False else recognized_pathwidth(graph)
+        if recognised is not None:
+            pw = WidthMeasure(recognised, True)
+        else:
+            pw = WidthMeasure(
+                vertex_separation_of_layout(graph, bfs_layout(graph)), False
+            )
+
+    td_exact = exact is True or (
+        exact is None
+        and (
+            size <= TREEDEPTH_EXACT_SIZE_LIMIT
+            or recognized_treedepth(graph) is not None
+        )
+    )
+    td = WidthMeasure(forest.height(), td_exact)
+    return WidthProfileReport(treewidth=tw, pathwidth=pw, treedepth=td), forest
 
 
 def width_profile_with_forest(
@@ -194,13 +313,5 @@ def width_profile_with_forest(
     :class:`~repro.classification.classifier.StructureProfile` — can hand
     it straight to the para-L solver instead of recomputing one.
     """
-    graph = gaifman_graph(structure)
-    forest = graph_elimination_forest(graph, exact)
-    return (
-        (
-            graph_treewidth(graph, exact),
-            graph_pathwidth(graph, exact),
-            forest.height(),
-        ),
-        forest,
-    )
+    report, forest = width_profile_report_with_forest(structure, exact)
+    return report.values(), forest

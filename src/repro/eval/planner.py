@@ -66,18 +66,28 @@ _ROUTE_PRECEDENCE = (
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """The planner's verdict for one (pattern, database) pair."""
+    """The planner's verdict for one (pattern, database) pair.
+
+    ``certified`` records whether the width measure that drives the chosen
+    route was computed exactly (engine window or recognised closed form,
+    per the profile's ``core_*_exact`` flags).  A plan routed on a
+    heuristic upper bound is still correct — every route is — but its
+    cost estimate may be pessimistic, which is exactly the 13–25-element
+    regime the width engines were built to eliminate.
+    """
 
     degree: ComplexityDegree
     cost: float
     estimates: Dict[ComplexityDegree, float]
     mode: str
+    certified: bool = True
 
     def summary(self) -> str:
         """Return a one-line human-readable account of the plan."""
         ranked = sorted(self.estimates.items(), key=lambda item: item[1])
         listing = ", ".join(f"{degree.value}≈{cost:.3g}" for degree, cost in ranked)
-        return f"route {self.degree.value} ({self.mode} mode; estimates: {listing})"
+        flag = "" if self.certified else "; heuristic-width route"
+        return f"route {self.degree.value} ({self.mode} mode{flag}; estimates: {listing})"
 
 
 def _powcost(weight: float, prefactor: float, base: float, exponent: int) -> float:
@@ -184,6 +194,21 @@ def conservative_cost_estimate(
     )
 
 
+def route_certified(profile: StructureProfile, degree: ComplexityDegree) -> bool:
+    """Whether the width measure driving ``degree`` is exact on ``profile``.
+
+    The backtracking route depends only on the core size (always exact);
+    the other three each rest on one width measure.
+    """
+    if degree is ComplexityDegree.PARA_L:
+        return getattr(profile, "core_treedepth_exact", True)
+    if degree is ComplexityDegree.PATH_COMPLETE:
+        return getattr(profile, "core_pathwidth_exact", True)
+    if degree is ComplexityDegree.TREE_COMPLETE:
+        return getattr(profile, "core_treewidth_exact", True)
+    return True
+
+
 def plan_query(
     profile: StructureProfile,
     stats: Optional[DatabaseStatistics] = None,
@@ -212,6 +237,7 @@ def plan_query(
         cost=estimates.get(degree, 0.0),
         estimates=estimates,
         mode=config.mode,
+        certified=route_certified(profile, degree),
     )
 
 

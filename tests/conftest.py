@@ -30,6 +30,78 @@ from repro.structures import (  # noqa: E402  (import after path setup)
 )
 
 
+def assert_valid_tree_decomposition(graph, decomposition, expected_width=None):
+    """Assert that ``decomposition`` is a valid tree decomposition of ``graph``.
+
+    Checks the three defining properties — vertex coverage, edge
+    containment, and connectivity of every vertex's bag subtree — plus,
+    when ``expected_width`` is given, that the realised width equals the
+    reported value (a witness must *achieve* the number it certifies).
+    Reusable across the fuzz corpus and the decomposition unit tests.
+    """
+    bags = decomposition.bags
+    covered = set()
+    for bag in bags.values():
+        covered.update(bag)
+    assert covered == set(graph.vertices), (
+        f"bags cover {covered}, graph has {set(graph.vertices)}"
+    )
+    for u, v in graph.edge_pairs():
+        assert any(u in bag and v in bag for bag in bags.values()), (
+            f"edge {(u, v)} contained in no bag"
+        )
+    for vertex in graph.vertices:
+        holding = {node for node, bag in bags.items() if vertex in bag}
+        # The bag nodes holding `vertex` must induce a connected subtree.
+        start = next(iter(holding))
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbour in decomposition.tree.neighbors(node):
+                if neighbour in holding and neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        assert seen == holding, (
+            f"bags holding {vertex!r} are disconnected: {holding} vs reachable {seen}"
+        )
+    if expected_width is not None:
+        realised = decomposition.width()
+        assert realised == expected_width, (
+            f"decomposition width {realised} != reported {expected_width}"
+        )
+
+
+def assert_valid_path_decomposition(graph, decomposition, expected_width=None):
+    """Assert that ``decomposition`` is a valid path decomposition of ``graph``.
+
+    Same properties as the tree variant, with connectivity specialised to
+    consecutiveness: every vertex's bags must form a contiguous interval
+    of the bag sequence.
+    """
+    bags = list(decomposition.bags)
+    covered = set()
+    for bag in bags:
+        covered.update(bag)
+    assert covered == set(graph.vertices), (
+        f"bags cover {covered}, graph has {set(graph.vertices)}"
+    )
+    for u, v in graph.edge_pairs():
+        assert any(u in bag and v in bag for bag in bags), (
+            f"edge {(u, v)} contained in no bag"
+        )
+    for vertex in graph.vertices:
+        indices = [i for i, bag in enumerate(bags) if vertex in bag]
+        assert indices == list(range(indices[0], indices[-1] + 1)), (
+            f"bags holding {vertex!r} are not consecutive: {indices}"
+        )
+    if expected_width is not None:
+        realised = decomposition.width()
+        assert realised == expected_width, (
+            f"decomposition width {realised} != reported {expected_width}"
+        )
+
+
 @pytest.fixture
 def rng():
     """A deterministic random generator for tests that need randomness."""

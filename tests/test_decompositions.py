@@ -2,6 +2,10 @@
 
 import pytest
 
+from conftest import (
+    assert_valid_path_decomposition,
+    assert_valid_tree_decomposition,
+)
 from repro.decomposition import (
     EliminationForest,
     PathDecomposition,
@@ -56,7 +60,7 @@ class TestTreeDecomposition:
             graph, sorted(graph.vertices)
         )
         decomposition.validate(graph)
-        assert decomposition.width() == 2
+        assert_valid_tree_decomposition(graph, decomposition, 2)
 
     def test_validation_catches_missing_edge(self):
         graph = cycle_graph(3)
@@ -88,7 +92,7 @@ class TestTreeDecomposition:
 
             decomposition = optimal_tree_decomposition(graph_structure(graph))
             decomposition.validate(graph)
-            assert decomposition.width() == exact_treewidth(graph)
+            assert_valid_tree_decomposition(graph, decomposition, exact_treewidth(graph))
 
 
 class TestPathDecomposition:
@@ -96,7 +100,7 @@ class TestPathDecomposition:
         graph = path_graph(6)
         decomposition = path_decomposition_from_ordering(graph, [1, 2, 3, 4, 5, 6])
         decomposition.validate(graph)
-        assert decomposition.width() == 1
+        assert_valid_path_decomposition(graph, decomposition, 1)
 
     def test_of_path_builder(self):
         decomposition = path_decomposition_of_path(path_graph(5))
@@ -121,7 +125,7 @@ class TestPathDecomposition:
         for graph in [cycle_graph(5), star_graph(4), grid_graph(2, 3)]:
             decomposition = optimal_path_decomposition(graph_structure(graph))
             decomposition.validate(graph)
-            assert decomposition.width() == exact_pathwidth(graph)
+            assert_valid_path_decomposition(graph, decomposition, exact_pathwidth(graph))
 
 
 class TestExactWidths:
@@ -179,7 +183,8 @@ class TestExactWidths:
         graph = cycle_graph(6)
         width, layout = exact_pathwidth_layout(graph)
         decomposition = path_decomposition_from_ordering(graph, layout)
-        assert decomposition.width() == width == exact_pathwidth(graph)
+        assert width == exact_pathwidth(graph)
+        assert_valid_path_decomposition(graph, decomposition, width)
 
     def test_width_inequalities(self):
         # td - 1 >= pw >= tw for every graph (standard inequalities).
