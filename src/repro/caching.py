@@ -11,6 +11,7 @@ reached) identical everywhere.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Generic, Iterator, Optional, TypeVar
 
@@ -25,6 +26,12 @@ class BoundedLRU(Generic[Key, Value]):
     entry when full) and refreshes recency on overwrite.  Both count
     into ``hits``/``misses`` via ``get`` only, so the counters reflect
     lookup traffic, not insertions.
+
+    All operations are thread-safe: the query-service front-end, its
+    monitor thread and the shared-store L1 all touch these caches from
+    more than one thread.  The lock is re-entrant because
+    ``get_or_put`` nests ``get``/``put`` and a ``factory`` may touch
+    the cache it is populating.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -32,30 +39,34 @@ class BoundedLRU(Generic[Key, Value]):
             raise ValueError("capacity must be at least 1")
         self._capacity = capacity
         self._entries: "OrderedDict[Key, Value]" = OrderedDict()
+        self._mutex = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: Key) -> Optional[Value]:
         """Return the cached value (refreshing recency) or None."""
-        value = self._entries.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._mutex:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def peek(self, key: Key) -> Optional[Value]:
         """Return the cached value without touching recency or counters."""
-        return self._entries.get(key)
+        with self._mutex:
+            return self._entries.get(key)
 
     def put(self, key: Key, value: Value) -> None:
         """Insert a value, evicting the least recently used entry if full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        elif len(self._entries) >= self._capacity:
-            self._entries.popitem(last=False)
-        self._entries[key] = value
+        with self._mutex:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            elif len(self._entries) >= self._capacity:
+                self._entries.popitem(last=False)
+            self._entries[key] = value
 
     def get_or_put(self, key: Key, factory: Callable[[], Value]) -> Value:
         """Return the cached value, computing and inserting it on a miss.
@@ -72,19 +83,32 @@ class BoundedLRU(Generic[Key, Value]):
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._mutex:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def info(self) -> Dict[str, int]:
         """Return hit/miss/size counters."""
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+        with self._mutex:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+            }
+
+    def keys(self) -> "list[Key]":
+        """A stable snapshot of the keys, oldest (coldest) first."""
+        with self._mutex:
+            return list(self._entries)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)
 
     def __contains__(self, key: Key) -> bool:
-        return key in self._entries
+        with self._mutex:
+            return key in self._entries
 
     def __iter__(self) -> Iterator[Key]:
-        return iter(self._entries)
+        return iter(self.keys())

@@ -30,6 +30,8 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from itertools import chain, islice
 from typing import (
@@ -103,6 +105,16 @@ class ExecutorConfig:
     projections instead of full results — pool workers then ship a few
     scalars per query back to the parent instead of the profile with its
     embedded structures (ROADMAP: "leaner result shipping").
+
+    ``chunk_deadline_seconds`` arms fault tolerance: while waiting on
+    the next in-order chunk the service gives up once the chunk has
+    been in flight that long, declares the pool wedged, and recycles it
+    — a fresh pool, every unfinished chunk re-submitted, the old
+    processes terminated.  A broken pool (worker killed) recycles the
+    same way regardless of the deadline.  ``None`` (the default) keeps
+    the historical blocking wait.  ``max_recycles`` bounds consecutive
+    recycle attempts per evaluation call, so a fault that re-arms
+    forever fails loudly instead of looping.
     """
 
     workers: Optional[int] = None
@@ -113,6 +125,8 @@ class ExecutorConfig:
     spawn_cost_threshold: float = 250_000.0
     adaptive_sample: int = 8
     slim_results: bool = False
+    chunk_deadline_seconds: Optional[float] = None
+    max_recycles: int = 3
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 0:
@@ -125,6 +139,10 @@ class ExecutorConfig:
             raise ValueError("adaptive_sample must be at least 1")
         if self.spawn_cost_threshold < 0:
             raise ValueError("spawn_cost_threshold must be non-negative")
+        if self.chunk_deadline_seconds is not None and self.chunk_deadline_seconds <= 0:
+            raise ValueError("chunk_deadline_seconds must be positive")
+        if self.max_recycles < 0:
+            raise ValueError("max_recycles must be non-negative")
 
     def effective_workers(self) -> int:
         """The worker count after resolving ``None`` against the CPU count."""
@@ -179,6 +197,45 @@ class _EvaluationContext:
         self.solved: "BoundedLRU[Tuple[Structure, Vocabulary], AnySolveResult]" = (
             BoundedLRU(_SOLVED_CACHE_LIMIT)
         )
+        #: Version of the last planner adopted from the shared control
+        #: slot (0 = whatever the context was constructed with).  See
+        #: :meth:`maybe_sync_planner`.
+        self.planner_version = 0
+
+    def maybe_sync_planner(self) -> bool:
+        """Adopt a hot-swapped planner config from the control slot.
+
+        The parent publishes ``(version, PlannerConfig)`` under one key
+        (:meth:`EvalService.update_planner`); a worker checks it once
+        per chunk — a single proxy ``get``.  Plans are cached keyed by
+        config, so adoption invalidates nothing: the next
+        :func:`~repro.eval.planner.plan_query_cached` call under the
+        new config simply routes differently.  Memoised *results* are
+        kept — a query's answer is route-invariant, only its provenance
+        reflects the config it was first solved under.
+
+        Returns True when a new config was adopted.
+        """
+        if self.stores is None or self.stores.control is None:
+            return False
+        try:
+            entry = self.stores.control.get("planner")
+        except (EOFError, BrokenPipeError, ConnectionError):
+            # The manager is gone (service shutting down mid-chunk);
+            # keep evaluating under the config already in hand.
+            return False
+        if entry is None or entry[0] == self.planner_version:
+            return False
+        self.planner_version, self.config = entry
+        return True
+
+    def beat(self, event: str) -> None:
+        """Stamp this process's heartbeat onto the shared board (if any)."""
+        if self.stores is not None and self.stores.heartbeats is not None:
+            try:
+                self.stores.heartbeats[os.getpid()] = (time.time(), event)
+            except (EOFError, BrokenPipeError, ConnectionError):
+                pass
 
     def target_for(self, vocabulary: Vocabulary) -> Structure:
         target = self.targets.get(vocabulary)
@@ -340,8 +397,11 @@ def _evaluate_chunk(queries: Tuple[ConjunctiveQuery, ...]) -> List[AnySolveResul
     """
     if _WORKER_CONTEXT is None:  # pragma: no cover — initializer always ran
         raise RuntimeError("worker used before initialisation")
+    _WORKER_CONTEXT.maybe_sync_planner()
+    _WORKER_CONTEXT.beat("chunk-start")
     results = [_WORKER_CONTEXT.solve(query) for query in queries]
     _WORKER_CONTEXT.flush_telemetry()
+    _WORKER_CONTEXT.beat("chunk-done")
     return results
 
 
@@ -374,6 +434,7 @@ class EvalService:
         planner: Optional[PlannerConfig] = None,
         executor: Optional[ExecutorConfig] = None,
         stores: "Optional[ServiceStores]" = None,
+        monitor: Optional[object] = None,
     ) -> None:
         self._database = database
         self._planner = planner if planner is not None else DEFAULT_PLANNER_CONFIG
@@ -383,6 +444,13 @@ class EvalService:
         #: pool worker.  The service does not own their lifecycle — the
         #: query-service front-end (:mod:`repro.service.frontend`) does.
         self._stores = stores
+        #: Optional :class:`~repro.service.monitor.ServiceMonitor`
+        #: (duck-typed to keep the import graph acyclic): every pool
+        #: recycle and deadline expiry is reported to it.
+        self._monitor = monitor
+        #: Monotonic counter behind planner hot swaps; published with
+        #: the config so workers can compare-and-adopt cheaply.
+        self._planner_version = 0
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_key: Optional[Tuple[bool, bool]] = None
         #: Parent-side contexts for plan()/statistics(), keyed by the
@@ -412,6 +480,36 @@ class EvalService:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    # -- planner hot swap ----------------------------------------------------
+    def update_planner(self, planner: PlannerConfig) -> int:
+        """Atomically swap the planner config without restarting the pool.
+
+        Three propagation paths, all config-keyed so nothing needs
+        invalidation:
+
+        * the parent-side contexts (sequential, introspection) are
+          switched in place — the next ``plan``/``solve`` uses the new
+          config;
+        * the shared **control slot** gets ``(version, config)`` under
+          one key — a single atomic proxy assignment; live pool workers
+          adopt it at their next chunk boundary
+          (:meth:`_EvaluationContext.maybe_sync_planner`);
+        * future pools (lazily created or recycled) are built from
+          ``self._planner`` directly.
+
+        Returns the new version number.
+        """
+        self._planner = planner
+        self._planner_version += 1
+        for context in list(self._introspection.values()) + list(
+            self._sequential_contexts.values()
+        ):
+            context.config = planner
+            context.planner_version = self._planner_version
+        if self._stores is not None and self._stores.control is not None:
+            self._stores.control["planner"] = (self._planner_version, planner)
+        return self._planner_version
+
     # -- introspection ------------------------------------------------------
     @property
     def planner(self) -> PlannerConfig:
@@ -431,6 +529,15 @@ class EvalService:
             )
             self._introspection[use_cache] = context
         return context
+
+    def context(self, use_cache: bool = True) -> _EvaluationContext:
+        """The parent-side evaluation context (targets, stats, profiles).
+
+        What probing layers (:mod:`repro.service.autotune`) use to time
+        routes against the same targets and shared profile store the
+        workers see, without building their own copies.
+        """
+        return self._introspection_context(use_cache)
 
     def plan(self, query: ConjunctiveQuery, use_cache: bool = True) -> QueryPlan:
         """Return the plan (without solving) the service would use for a query."""
@@ -597,9 +704,12 @@ class EvalService:
     ) -> Iterator[Tuple[ConjunctiveQuery, AnySolveResult]]:
         pool = self._ensure_pool(use_cache)
         window = self._executor.effective_workers() * self._executor.inflight_factor
+        deadline = self._executor.chunk_deadline_seconds
         chunk_iterator = _chunks(queries, self._executor.chunk_size)
         pending: Dict[int, Future] = {}
         submitted: Dict[int, Tuple[ConjunctiveQuery, ...]] = {}
+        submit_times: Dict[int, float] = {}
+        recycles = 0
         next_submit = 0
         next_yield = 0
         exhausted = False
@@ -610,14 +720,126 @@ class EvalService:
                     exhausted = True
                     break
                 submitted[next_submit] = chunk
+                submit_times[next_submit] = time.monotonic()
                 pending[next_submit] = pool.submit(_evaluate_chunk, chunk)
                 next_submit += 1
             if next_yield not in pending:
                 break
-            results = pending.pop(next_yield).result()
+            future = pending[next_yield]
+            try:
+                if deadline is None:
+                    results = future.result()
+                else:
+                    remaining = submit_times[next_yield] + deadline - time.monotonic()
+                    results = future.result(timeout=max(remaining, 0.0))
+            except FuturesTimeoutError:
+                # The chunk blew its deadline: the worker holding it is
+                # wedged (stuck syscall, runaway solve).  Recycle the
+                # pool and re-dispatch everything unfinished.
+                if self._monitor is not None:
+                    self._monitor.observe_deadline_expiry()
+                recycles += 1
+                if recycles > self._executor.max_recycles:
+                    self._abandon_pool()
+                    raise RuntimeError(
+                        f"chunk {next_yield} still unfinished after "
+                        f"{self._executor.max_recycles} pool recycles "
+                        f"(chunk deadline {deadline}s)"
+                    )
+                pool = self._recycle_pool(
+                    use_cache, pending, submitted, submit_times, "chunk-deadline"
+                )
+                continue
+            except BrokenProcessPool:
+                # A worker died (killed, crashed); every pending future
+                # is poisoned but completed results are still good.
+                recycles += 1
+                if recycles > self._executor.max_recycles:
+                    self._abandon_pool()
+                    raise
+                pool = self._recycle_pool(
+                    use_cache, pending, submitted, submit_times, "broken-pool"
+                )
+                continue
+            pending.pop(next_yield)
             chunk = submitted.pop(next_yield)
+            submit_times.pop(next_yield, None)
             next_yield += 1
             yield from zip(chunk, results)
+
+    def _recycle_pool(
+        self,
+        use_cache: bool,
+        pending: Dict[int, Future],
+        submitted: Dict[int, Tuple[ConjunctiveQuery, ...]],
+        submit_times: Dict[int, float],
+        reason: str,
+    ) -> ProcessPoolExecutor:
+        """Replace a wedged/broken pool, re-dispatching unfinished chunks.
+
+        Chunks whose futures already completed successfully keep their
+        results — they are yielded from the old futures untouched — so
+        a recycle never loses *or* duplicates an answer: each chunk
+        index is yielded exactly once, from exactly one future.  The
+        rest are re-submitted in index order to a fresh pool built from
+        the current planner config.  The old pool's worker processes
+        are terminated explicitly: a wedged worker never exits on its
+        own, and ``shutdown`` alone would hang interpreter exit on its
+        join.
+        """
+        old = self._pool
+        self._pool = None
+        self._pool_key = None
+        pool = self._ensure_pool(use_cache)
+        redispatched = 0
+        for index in sorted(pending):
+            future = pending[index]
+            if future.done() and not future.cancelled() and future.exception() is None:
+                continue  # a finished result survives the recycle
+            future.cancel()
+            pending[index] = pool.submit(_evaluate_chunk, submitted[index])
+            submit_times[index] = time.monotonic()
+            redispatched += 1
+        terminated = self._terminate_pool(old)
+        if self._monitor is not None:
+            for pid in terminated:
+                self._monitor.forget_worker(pid)
+            self._monitor.observe_recycle(reason, redispatched)
+        return pool
+
+    @staticmethod
+    def _terminate_pool(old: Optional[ProcessPoolExecutor]) -> List[int]:
+        """Kill a pool's workers and abandon it; returns terminated pids.
+
+        Private API, but the only handle on a wedged worker: the
+        executor's public surface has no "terminate workers", and a
+        wedged worker never exits on its own — ``shutdown`` alone would
+        hang interpreter exit on its join.
+        """
+        terminated: List[int] = []
+        if old is not None:
+            processes = getattr(old, "_processes", None) or {}
+            for process in list(processes.values()):
+                if process.is_alive():
+                    process.terminate()
+                if process.pid is not None:
+                    terminated.append(process.pid)
+            old.shutdown(wait=False, cancel_futures=True)
+        return terminated
+
+    def _abandon_pool(self) -> None:
+        """Tear down a pool we cannot trust to shut down cleanly.
+
+        The give-up path past ``max_recycles``: the caller is about to
+        raise, and a wedged worker left alive would hang the service's
+        ``close()`` (and interpreter exit) on its join.
+        """
+        old = self._pool
+        self._pool = None
+        self._pool_key = None
+        for pid in self._terminate_pool(old):
+            if self._monitor is not None:
+                self._monitor.forget_worker(pid)
 
     def _ensure_pool(self, use_cache: bool) -> ProcessPoolExecutor:
         key = (use_cache, self._executor.slim_results)

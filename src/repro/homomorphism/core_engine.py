@@ -297,7 +297,9 @@ def _component(neighbours: Mapping[Element, Set[Element]], start: Element) -> Se
 
 
 def endomorphism_domains(
-    structure: Structure, index: Optional[StructureIndex] = None
+    structure: Structure,
+    index: Optional[StructureIndex] = None,
+    seed: Optional[Mapping[Element, FrozenSet[Element]]] = None,
 ) -> Dict[Element, FrozenSet[Element]]:
     """Arc-consistent domains of the endomorphism CSP ``hom(A → A)``.
 
@@ -308,13 +310,24 @@ def endomorphism_domains(
     other variables.  The identity assignment is a solution, so ``a ∈
     D(a)`` always; in particular domains never empty out, and an
     all-singleton fixpoint proves the identity is the only endomorphism.
+
+    ``seed`` (incremental AC) pre-restricts each element's domain to a
+    caller-supplied superset of its possible images — sound whenever
+    the seeds over-approximate every endomorphism of ``structure``, as
+    the domains carried between :func:`compute_core` retraction rounds
+    do.  Propagation then starts from the smaller frontier instead of
+    rediscovering it from full domains each round.
     """
     atoms = _positive_atoms(structure)
     if index is None:
         index = StructureIndex(structure)
-    domains: Dict[Element, Set[Element]] = {
-        a: set(structure.universe) for a in structure.universe
-    }
+    if seed is None:
+        domains: Dict[Element, Set[Element]] = {
+            a: set(structure.universe) for a in structure.universe
+        }
+    else:
+        universe = set(structure.universe)
+        domains = {a: set(seed[a]) & universe for a in structure.universe}
     for name, tup in atoms:
         relation = index.relation(name)
         for position, element in enumerate(tup):
@@ -350,7 +363,9 @@ def endomorphism_domains(
 
 
 def _certify(
-    structure: Structure, index: Optional[StructureIndex] = None
+    structure: Structure,
+    index: Optional[StructureIndex] = None,
+    seed: Optional[Mapping[Element, FrozenSet[Element]]] = None,
 ) -> Tuple[Optional[str], Optional[Dict[Element, FrozenSet[Element]]]]:
     """Return ``(certificate, None)`` or ``(None, AC domains)`` for the search."""
     if len(structure) == 1:
@@ -358,7 +373,7 @@ def _certify(
     certificate = _degree_certificate(structure)
     if certificate is not None:
         return certificate, None
-    domains = endomorphism_domains(structure, index)
+    domains = endomorphism_domains(structure, index, seed=seed)
     if all(len(values) == 1 for values in domains.values()):
         return "ac-rigid", None
     return None, domains
@@ -464,6 +479,30 @@ def proper_retraction(structure: Structure) -> Optional[Endomorphism]:
     return find_non_surjective_endomorphism(structure, domains, index)
 
 
+def _idempotent_retraction(endomorphism: Endomorphism) -> Endomorphism:
+    """Iterate an endomorphism to an idempotent power (a true retraction).
+
+    In the finite monoid generated by ``e`` some power is idempotent:
+    the image chain ``img(e) ⊇ img(e²) ⊇ …`` stabilises within ``n``
+    steps at a set ``I`` that ``eᵏ`` merely permutes, and composing with
+    that permutation's inverse (itself a power of ``e`` restricted to
+    ``I``) yields ``r = eᵏᵈ`` with ``r∘r = r``.  ``r`` is identity on
+    its image — the property the incremental-AC domain carrying in
+    :func:`compute_core` needs for soundness, which a raw search witness
+    does not provide.
+    """
+    power = dict(endomorphism)
+    image = frozenset(power.values())
+    while True:
+        next_power = {x: endomorphism[value] for x, value in power.items()}
+        next_image = frozenset(next_power.values())
+        if next_image == image:
+            break
+        power, image = next_power, next_image
+    inverse = {power[a]: a for a in image}
+    return {x: inverse[power[x]] for x in power}
+
+
 # ---------------------------------------------------------------------------
 # The witnessed core computation
 # ---------------------------------------------------------------------------
@@ -494,7 +533,7 @@ class CoreComputation:
         return self.searches > 0
 
 
-def compute_core(structure: Structure) -> CoreComputation:
+def compute_core(structure: Structure, incremental: bool = True) -> CoreComputation:
     """Compute the core with folds, certificates and the single search.
 
     Each round folds to a fixpoint, then tries to certify the remainder
@@ -503,22 +542,42 @@ def compute_core(structure: Structure) -> CoreComputation:
     repeats.  The result's ``core`` is an induced substructure of the
     input, unique up to isomorphism, and ``retraction`` witnesses
     ``structure → core``.
+
+    With ``incremental=True`` (the default) the AC domains computed in
+    round ``k`` seed round ``k+1``: the search witness is first iterated
+    to an idempotent retraction ``r`` (identity on its image ``I``), so
+    any endomorphism ``f`` of the shrunken structure lifts to ``f∘r`` on
+    the previous one — hence ``f(a) ∈ D(a) ∩ I`` and the carried domains
+    ``{a: D(a) ∩ I}`` soundly over-approximate every next-round
+    endomorphism.  Folds between rounds are identity on survivors, so
+    the carried domains stay valid verbatim (values outside the new
+    universe are dropped when seeding).  ``incremental=False`` keeps the
+    original from-scratch behaviour bit-for-bit and exists as the
+    reference arm of the differential fuzz test.
     """
     current = structure
     retraction: Endomorphism = {a: a for a in structure.universe}
     folds = 0
     searches = 0
+    carried: Optional[Dict[Element, FrozenSet[Element]]] = None
     while True:
         current, fold_map, new_folds, index = _fold_reduce(current)
         if new_folds:
             folds += new_folds
             retraction = {x: fold_map[y] for x, y in retraction.items()}
-        certificate, domains = _certify(current, index)
+        certificate, domains = _certify(current, index, seed=carried)
         if certificate is not None:
             return CoreComputation(structure, current, retraction, certificate, folds, searches)
         searches += 1
         endomorphism = find_non_surjective_endomorphism(current, domains, index)
         if endomorphism is None:
             return CoreComputation(structure, current, retraction, None, folds, searches)
-        current = current.induced_substructure(frozenset(endomorphism.values()))
-        retraction = {x: endomorphism[y] for x, y in retraction.items()}
+        if incremental:
+            idempotent = _idempotent_retraction(endomorphism)
+            image = frozenset(idempotent.values())
+            carried = {a: domains[a] & image for a in image}
+            current = current.induced_substructure(image)
+            retraction = {x: idempotent[y] for x, y in retraction.items()}
+        else:
+            current = current.induced_substructure(frozenset(endomorphism.values()))
+            retraction = {x: endomorphism[y] for x, y in retraction.items()}

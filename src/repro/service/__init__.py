@@ -17,19 +17,44 @@ parallel once per lifetime instead of once per call.
   :class:`CalibrationState` persistence.
 * :mod:`repro.service.frontend` — :class:`QueryService` and its
   :class:`AdaptiveController`.
+* :mod:`repro.service.autotune` — the background recalibration loop:
+  :class:`AutoTuner` re-fits planner weights on a cadence or on
+  telemetry-residual drift and hot-swaps the config (guarded, no pool
+  restart); :class:`SpawnOverheadTracker` keeps the serial/parallel
+  threshold honest from realised parallel batches.
+* :mod:`repro.service.metrics` — a Prometheus-style
+  :class:`MetricsRegistry` (counters/gauges/histograms with a text
+  exposition) every service registers its observables into.
+* :mod:`repro.service.monitor` — :class:`ServiceMonitor`: worker
+  heartbeats, wedge detection via chunk deadlines, and the recycle /
+  re-dispatch event record.
 
 Quickstart::
 
     from repro.service import QueryService
 
-    with QueryService(database) as service:
+    with QueryService(database, autotune=True) as service:
         for query, result in service.evaluate(queries):
             ...
-        service.calibrate()           # fit the cost model from telemetry
-        print(service.stats())        # hit rates, modes, calibration
+        print(service.stats())             # hit rates, modes, calibration
+        print(service.render_prometheus()) # the /metrics text body
 """
 
+from repro.service.autotune import (
+    AutoTuneConfig,
+    AutoTuner,
+    ResidualTracker,
+    SpawnOverheadTracker,
+)
 from repro.service.frontend import AdaptiveController, QueryService
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    register_store_metrics,
+)
+from repro.service.monitor import ServiceMonitor, WorkerHealth
 from repro.service.store import (
     ServiceStores,
     SharedStore,
@@ -68,4 +93,15 @@ __all__ = [
     "select_planner",
     "measure_spawn_overhead",
     "DEFAULT_SPAWN_OVERHEAD_SECONDS",
+    "AutoTuner",
+    "AutoTuneConfig",
+    "ResidualTracker",
+    "SpawnOverheadTracker",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "register_store_metrics",
+    "ServiceMonitor",
+    "WorkerHealth",
 ]

@@ -29,9 +29,12 @@ looks like above the executor: one object bound to one database that
 
 from __future__ import annotations
 
+import dataclasses
+import enum
 import os
 import time
 from collections import deque
+from collections.abc import Mapping as AbstractMapping
 from dataclasses import replace
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -39,6 +42,9 @@ from repro.classification.solver_dispatch import DEFAULT_PLANNER_CONFIG, Planner
 from repro.cq.database import Database
 from repro.cq.query import ConjunctiveQuery
 from repro.eval.executor import AnySolveResult, EvalService, ExecutorConfig
+from repro.service.autotune import AutoTuneConfig, AutoTuner
+from repro.service.metrics import MetricsRegistry, register_store_metrics
+from repro.service.monitor import ServiceMonitor
 from repro.service.store import ServiceStores, StoreManager
 from repro.service.telemetry import (
     DEFAULT_SPAWN_OVERHEAD_SECONDS,
@@ -49,6 +55,35 @@ from repro.service.telemetry import (
 from repro.structures.structure import Structure
 
 DatabaseLike = Union[Database, Structure]
+
+
+def _json_safe(value: Any) -> Any:
+    """Project arbitrary service state onto JSON-serialisable types.
+
+    The stats endpoint aggregates manager proxies, tuples, enums and
+    dataclasses from half a dozen subsystems; any one of them leaking
+    through breaks ``json.dumps`` for a caller.  Mappings become string
+    -keyed dicts, sequences become lists, enums their values,
+    dataclasses their field dicts, and anything else falls back to
+    ``repr`` — nothing raises.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return _json_safe(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _json_safe(dataclasses.asdict(value))
+    if isinstance(value, AbstractMapping):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset, deque)):
+        return [_json_safe(item) for item in value]
+    items = getattr(value, "items", None)
+    if callable(items):  # manager DictProxy and friends
+        try:
+            return {str(key): _json_safe(item) for key, item in items()}
+        except Exception:
+            pass
+    return repr(value)
 
 
 class AdaptiveController:
@@ -202,7 +237,20 @@ class QueryService:
     calibration:
         A :class:`CalibrationState` (or a path to one saved with
         :meth:`save_calibration`) to start from, instead of the
-        hand-set defaults.
+        hand-set defaults.  A missing, truncated or corrupted state
+        file is tolerated: the service logs nothing, keeps the
+        hand-set (or explicitly passed) planner, and starts clean —
+        a bad config file must never take the service down.
+    autotune:
+        ``True`` or an :class:`~repro.service.autotune.AutoTuneConfig`
+        arms background recalibration: after every batch the
+        :class:`~repro.service.autotune.AutoTuner` may re-fit the
+        planner from telemetry and hot-swap it (guarded, no pool
+        restart).  Default: off.
+    metrics:
+        A :class:`~repro.service.metrics.MetricsRegistry` to register
+        into (one is created per service by default — pass a shared
+        one to aggregate several services into one scrape).
     """
 
     def __init__(
@@ -219,6 +267,8 @@ class QueryService:
         drift_window: int = 16,
         drift_factor: float = 4.0,
         calibration: Optional[Union[CalibrationState, str]] = None,
+        autotune: Union[None, bool, AutoTuneConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -230,7 +280,7 @@ class QueryService:
         self._base_planner = planner if planner is not None else DEFAULT_PLANNER_CONFIG
         self._calibration: Optional[CalibrationState] = None
         if isinstance(calibration, str):
-            calibration = CalibrationState.load(calibration)
+            calibration = CalibrationState.load_or_none(calibration)
         if calibration is not None:
             self._calibration = calibration
             planner = calibration.planner
@@ -242,11 +292,18 @@ class QueryService:
         self._store_manager = StoreManager(shared=shared, telemetry=telemetry)
         self._executor_config = executor
         self._planner = planner if planner is not None else self._base_planner
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.monitor = ServiceMonitor(
+            heartbeats=self._store_manager.stores.heartbeats,
+            deadline_seconds=executor.chunk_deadline_seconds,
+            metrics=self.metrics,
+        )
         self._eval = EvalService(
             database,
             planner=self._planner,
             executor=executor,
             stores=self._store_manager.stores,
+            monitor=self.monitor,
         )
         self.controller = AdaptiveController(
             workers=workers,
@@ -262,6 +319,44 @@ class QueryService:
         self._mode_history: List[Dict[str, Any]] = []
         self._queries_served = 0
         self._batches_served = 0
+        self._samples_consumed = 0
+        self._drift_events_seen = 0
+        self._planner_version = 0
+        self._register_metrics()
+        self.autotuner: Optional[AutoTuner] = None
+        if autotune:
+            tune_config = (
+                autotune if isinstance(autotune, AutoTuneConfig) else None
+            )
+            self.autotuner = AutoTuner(
+                self, config=tune_config, metrics=self.metrics
+            )
+
+    def _register_metrics(self) -> None:
+        register_store_metrics(self.metrics, self._store_manager.stores)
+        self._queries_counter = self.metrics.counter(
+            "queries_total", "Queries served, by executed mode", labelnames=("mode",)
+        )
+        self._route_counter = self.metrics.counter(
+            "route_solves_total",
+            "Realised solves by planner route (from telemetry)",
+            labelnames=("route",),
+        )
+        self._batch_histogram = self.metrics.histogram(
+            "batch_seconds", "Wall-clock seconds per served batch"
+        )
+        self._drift_counter = self.metrics.counter(
+            "drift_events_total", "Controller drift-detection resets"
+        )
+        self._swap_counter = self.metrics.counter(
+            "planner_hot_swaps_total", "Planner configs hot-swapped into the service"
+        )
+        self.metrics.gauge(
+            "queue_depth", "Queries submitted but not yet flushed"
+        ).set_function(lambda: float(len(self._pending)))
+        self.metrics.gauge(
+            "spawn_overhead_seconds", "Per-chunk overhead the controller decides with"
+        ).set_function(lambda: float(self.controller.spawn_overhead_seconds))
 
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:
@@ -284,6 +379,20 @@ class QueryService:
     def planner(self) -> PlannerConfig:
         """The planner configuration currently in force."""
         return self._planner
+
+    @property
+    def base_planner(self) -> PlannerConfig:
+        """The hand-set configuration calibration fits are baselined on."""
+        return self._base_planner
+
+    @property
+    def planner_version(self) -> int:
+        """How many planner configs have been hot-swapped in (0 = none)."""
+        return self._planner_version
+
+    def eval_context(self):
+        """The parent-side evaluation context (targets, stats, profiles)."""
+        return self._eval.context(use_cache=True)
 
     def submit(self, query: ConjunctiveQuery) -> None:
         """Queue one query; it runs at the next :meth:`flush`.
@@ -342,7 +451,40 @@ class QueryService:
                 "seconds": elapsed,
             }
         )
+        self._after_batch(batch, ran_mode, elapsed)
         return results
+
+    def _after_batch(
+        self, batch: List[ConjunctiveQuery], ran_mode: str, elapsed: float
+    ) -> None:
+        """Per-batch observability + the autotune hook."""
+        self._queries_counter.inc(len(batch), mode=ran_mode)
+        self._batch_histogram.observe(elapsed)
+        new_samples = self._consume_new_samples()
+        for sample in new_samples:
+            self._route_counter.inc(route=sample.route)
+        drift_now = len(self.controller.drift_events)
+        if drift_now > self._drift_events_seen:
+            self._drift_counter.inc(drift_now - self._drift_events_seen)
+            self._drift_events_seen = drift_now
+        if self.autotuner is not None:
+            self.autotuner.observe_batch(batch, ran_mode, elapsed, new_samples)
+
+    def _consume_new_samples(self) -> list:
+        """Telemetry samples that arrived since the last batch.
+
+        The sink is bounded (oldest batches dropped under flood), so the
+        consumed offset is clamped to what is still retained; after a
+        drop a small overlap window may be re-consumed, which only
+        re-counts some route-mix increments — never loses new samples.
+        """
+        sink = self.stores.telemetry
+        if sink is None:
+            return []
+        everything = sink.drain()
+        offset = min(self._samples_consumed, len(everything))
+        self._samples_consumed = len(everything)
+        return everything[offset:]
 
     # -- calibration --------------------------------------------------------
     def telemetry_samples(self) -> list:
@@ -377,26 +519,41 @@ class QueryService:
             min_samples=min_samples,
         )
         if apply and result.source == "fitted":
-            self._apply_planner(result.planner, result.spawn_cost_threshold)
-            self._calibration = result.state()
+            self.apply_calibration(result)
         return result
+
+    def apply_calibration(self, result: CalibrationResult) -> int:
+        """Adopt a calibration result by atomic hot swap (no pool restart).
+
+        The public entry the autotuner uses after its guard passes.
+        Returns the new planner version.
+        """
+        version = self._apply_planner(result.planner, result.spawn_cost_threshold)
+        self._calibration = result.state()
+        return version
 
     def _apply_planner(
         self, planner: PlannerConfig, spawn_cost_threshold: Optional[float]
-    ) -> None:
-        self._eval.close()
+    ) -> int:
+        """Hot-swap the planner into the live service.
+
+        No pool restart: the parent-side contexts switch in place and
+        the new ``(version, config)`` pair is published to the shared
+        control slot, which live workers read once per chunk
+        (:meth:`repro.eval.executor.EvalService.update_planner`).  A
+        batch in flight finishes under whichever config its worker
+        held at chunk start — answers are route-invariant, so the swap
+        is always safe mid-stream.
+        """
         self._planner = planner
+        self._planner_version = self._eval.update_planner(planner)
+        self._swap_counter.inc()
         if spawn_cost_threshold is not None:
             self._executor_config = replace(
                 self._executor_config, spawn_cost_threshold=spawn_cost_threshold
             )
             self.controller.spawn_overhead_seconds = spawn_cost_threshold
-        self._eval = EvalService(
-            self._database,
-            planner=planner,
-            executor=self._executor_config,
-            stores=self._store_manager.stores,
-        )
+        return self._planner_version
 
     def save_calibration(self, path: str) -> None:
         """Persist the current calibration state (raises if none exists)."""
@@ -406,26 +563,45 @@ class QueryService:
 
     # -- the stats endpoint -------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        """The service's observable state, one JSON-friendly dict.
+        """The service's observable state, one JSON-serialisable dict.
 
         ``classification_calls`` is the shared profile store's global
         compute counter — on a repeated-pattern workload it is bounded
         by the number of *distinct* patterns the service ever saw,
         which is the dedup guarantee the benchmark gates.
+
+        Every value is passed through a JSON-safety projection
+        (:func:`_json_safe`), so ``json.dumps(service.stats())`` is
+        guaranteed to succeed whatever proxies or tuples the underlying
+        subsystems leak.
         """
         stores = self.stores.info()
         profiles = stores.get("profiles") or {}
-        return {
-            "queries_served": self._queries_served,
-            "batches_served": self._batches_served,
-            "pending": len(self._pending),
-            "shared_stores": self._store_manager.shared,
-            "classification_calls": profiles.get("computes", 0),
-            "stores": stores,
-            "controller": self.controller.info(),
-            "mode_history": list(self._mode_history),
-            "calibration": (
-                None if self._calibration is None else self._calibration.to_dict()
-            ),
-            "planner_mode": self._planner.mode,
-        }
+        return _json_safe(
+            {
+                "queries_served": self._queries_served,
+                "batches_served": self._batches_served,
+                "pending": len(self._pending),
+                "shared_stores": self._store_manager.shared,
+                "classification_calls": profiles.get("computes", 0),
+                "stores": stores,
+                "controller": self.controller.info(),
+                "mode_history": list(self._mode_history),
+                "calibration": (
+                    None if self._calibration is None else self._calibration.to_dict()
+                ),
+                "planner_mode": self._planner.mode,
+                "planner_version": self._planner_version,
+                "monitor": self.monitor.info(),
+                "autotune": (
+                    {"enabled": False}
+                    if self.autotuner is None
+                    else self.autotuner.info()
+                ),
+                "metrics": self.metrics.collect(),
+            }
+        )
+
+    def render_prometheus(self) -> str:
+        """The metrics registry's text exposition (a /metrics body)."""
+        return self.metrics.render_prometheus()

@@ -329,17 +329,34 @@ class ServiceStores:
     per-context behaviour for that concern.  The bundle deliberately
     excludes the manager itself (not picklable, owned by
     :class:`StoreManager` in the parent).
+
+    ``control`` is the hot-swap channel: a (manager) dict the parent
+    publishes versioned control values into — today a single key,
+    ``"planner" → (version, PlannerConfig)`` — and every worker reads
+    once per chunk.  One key means one atomic proxy assignment per
+    update and one ``get`` per check: a worker either sees the old
+    (version, config) pair or the new one, never a torn mix.
+
+    ``heartbeats`` is the worker-health board: each worker writes
+    ``pid → (wall-clock time, event)`` at chunk boundaries, and the
+    service monitor (:mod:`repro.service.monitor`) reads it to tell a
+    busy worker from a wedged one.
     """
 
     profiles: Optional[SharedStore] = None
     answers: Optional[SharedStore] = None
     telemetry: Optional[TelemetrySink] = None
+    control: Optional[Any] = None
+    heartbeats: Optional[Any] = None
 
     def info(self) -> Dict[str, Any]:
         return {
             "profiles": None if self.profiles is None else self.profiles.info(),
             "answers": None if self.answers is None else self.answers.info(),
             "telemetry_samples": None if self.telemetry is None else len(self.telemetry),
+            "heartbeats": (
+                None if self.heartbeats is None else len(dict(self.heartbeats))
+            ),
         }
 
 
@@ -373,11 +390,21 @@ class StoreManager:
                 self._manager, capacity=answer_capacity, claim_timeout=claim_timeout
             )
             sink = TelemetrySink.managed(self._manager) if telemetry else None
+            control: Any = self._manager.dict()
+            heartbeats: Any = self._manager.dict()
         else:
             profiles = SharedStore.local(capacity=profile_capacity)
             answers = SharedStore.local(capacity=answer_capacity)
             sink = TelemetrySink.local() if telemetry else None
-        self.stores = ServiceStores(profiles=profiles, answers=answers, telemetry=sink)
+            control = {}
+            heartbeats = {}
+        self.stores = ServiceStores(
+            profiles=profiles,
+            answers=answers,
+            telemetry=sink,
+            control=control,
+            heartbeats=heartbeats,
+        )
 
     @property
     def shared(self) -> bool:

@@ -357,3 +357,25 @@ class CalibrationState:
     def load(cls, path: str) -> "CalibrationState":
         with open(path) as handle:
             return cls.from_dict(json.load(handle))
+
+    @classmethod
+    def load_or_none(cls, path: str) -> "Optional[CalibrationState]":
+        """Load a state file, or None if it is missing or unusable.
+
+        A calibration file is an *optimisation*, never a requirement: a
+        service pointed at a missing, truncated, corrupted or
+        wrong-shaped file must start (on its incumbent defaults) rather
+        than crash.  Anything short of a well-formed state — I/O
+        errors, invalid JSON, missing or mistyped fields, a non-dict
+        payload — maps to None.
+        """
+        try:
+            state = cls.load(path)
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            # ValueError covers json.JSONDecodeError; KeyError/TypeError
+            # cover structurally wrong payloads (missing planner, wrong
+            # field types); AttributeError covers non-dict JSON roots.
+            return None
+        if not isinstance(state.planner, PlannerConfig):
+            return None
+        return state

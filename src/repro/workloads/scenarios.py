@@ -36,6 +36,9 @@ scenario               what it stresses
                        the scale where exact treedepth used to fall back
                        to the trivial DFS bound; exercises the
                        branch-and-bound treedepth engine end to end
+``load_shift``         a mid-run mix flip — cheap folding patterns for the
+                       first half, long directed paths and odd cycles for
+                       the second; the autotune recalibration scenario
 =====================  ====================================================
 
 All randomness flows through an explicit ``random.Random(seed)``; the
@@ -364,6 +367,30 @@ def _deep_cores(count: int, seed: int, scale: int = 1) -> EvalScenario:
     )
 
 
+def _load_shift(count: int, seed: int, scale: int = 1) -> EvalScenario:
+    rng = random.Random(seed)
+    first = count // 2
+    cheap = [
+        lambda: undirected_tree_query(rng, rng.randint(8, 14)),
+        lambda: undirected_path_query(rng.randint(8, 14)),
+    ]
+    heavy = [
+        lambda: path_query(rng.randint(12, 20)),
+        lambda: undirected_cycle_query(2 * rng.randint(3, 6) + 1),
+    ]
+    queries = [rng.choice(cheap)() for _ in range(first)]
+    queries += [rng.choice(heavy)() for _ in range(count - first)]
+    return EvalScenario(
+        "load_shift",
+        "a mid-run workload flip: the first half is cheap folding patterns "
+        "(symmetric trees/paths), the second half long directed paths and "
+        "odd cycles — a planner calibrated on the first half misprices the "
+        "second, the autotuner's recalibration trigger in one batch stream",
+        tuple(queries),
+        dense_graph_database(18 * scale, edge_probability=0.35 / scale, seed=seed),
+    )
+
+
 #: The table layout of :func:`mixed_vocabulary_database`, reused by the
 #: random query generator so generated queries match the schema.
 MIXED_TABLES: Dict[str, int] = {"E": 2, "L": 2, "R": 3, "C1": 1, "C2": 1}
@@ -406,6 +433,7 @@ _SCENARIO_BUILDERS: Dict[str, Callable[[int, int], EvalScenario]] = {
     "folded_cores": _folded_cores,
     "rigid_cycles": _rigid_cycles,
     "deep_cores": _deep_cores,
+    "load_shift": _load_shift,
 }
 
 

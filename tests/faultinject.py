@@ -1,0 +1,178 @@
+"""Deterministic fault injection for the query-service stack.
+
+Injections exploit the ``fork`` start method: the parent patches
+module-level state *before* the worker pool exists, and every forked
+worker inherits the patch.  One-shot arming lives in a manager dict —
+``pop`` on a manager proxy is atomic, so exactly one process consumes
+the flag no matter how many race for it — which makes each fault fire
+exactly once per test regardless of chunk scheduling.
+
+Two injection surfaces:
+
+* :func:`chunk_fault` wraps ``repro.eval.executor._evaluate_chunk`` so
+  an ``action(flags, queries)`` hook runs at every chunk start inside
+  the worker.  Stock actions: :func:`kill_worker` (``os._exit`` — the
+  pool breaks mid-chunk) and :func:`wedge_worker` (sleep forever — the
+  chunk deadline must catch it).
+* :class:`FlakyMapping` wraps a shared control-plane mapping (the
+  planner control slot, the heartbeat board) so exactly one access
+  raises :class:`ConnectionError` — a stand-in for a manager timeout or
+  dropped connection, which the guarded worker paths must swallow.
+
+The wrapper submitted to the pool must be picklable by reference, so it
+is a module-level function reading module-level state (set under
+:func:`chunk_fault`); nested closures would not unpickle in workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, Tuple
+
+import repro.eval.executor as executor_mod
+from repro.classification.degrees import ComplexityDegree
+from repro.service.telemetry import SolveSample
+
+_ORIGINAL_EVALUATE_CHUNK = executor_mod._evaluate_chunk
+
+#: ``(action, flags)`` while a :func:`chunk_fault` context is active.
+_ACTIVE: Optional[Tuple[Callable[..., None], Any]] = None
+
+
+def should_fire(flags: Any) -> bool:
+    """Atomically consume the one-shot arming flag.
+
+    ``pop`` on a manager dict is a single server-side operation, so
+    only one caller ever observes the armed flag — the fault fires
+    exactly once across all workers.
+    """
+    if not flags.get("armed"):
+        return False
+    return flags.pop("armed", None) is not None
+
+
+def kill_worker(flags: Any, queries: Any) -> None:
+    """Die abruptly mid-chunk — no cleanup, no exception, exit code 42.
+
+    The parent sees a ``BrokenProcessPool`` and must recycle the pool
+    and re-dispatch every unfinished chunk.
+    """
+    if should_fire(flags):
+        os._exit(42)
+
+
+def wedge_worker(flags: Any, queries: Any) -> None:
+    """Hang forever mid-chunk (a stuck syscall / runaway solve stand-in).
+
+    Only the executor's per-chunk deadline can detect this — the pool
+    itself never notices a sleeping worker.
+    """
+    if should_fire(flags):
+        while True:  # pragma: no cover — the worker is terminated externally
+            time.sleep(3600)
+
+
+def _faulty_evaluate_chunk(queries):  # noqa: ANN001 — must match the original
+    """Module-level (hence picklable-by-reference) chunk wrapper."""
+    if _ACTIVE is not None:
+        action, flags = _ACTIVE
+        action(flags, queries)
+    return _ORIGINAL_EVALUATE_CHUNK(queries)
+
+
+@contextmanager
+def chunk_fault(action: Callable[..., None]) -> Iterator[Any]:
+    """Arm ``action`` to run at every chunk start inside pool workers.
+
+    Must be entered *before* the pool is created (i.e. before the first
+    parallel batch) — workers fork with the patched module state, and a
+    pool forked earlier would run the unpatched original forever.
+    Yields the shared one-shot ``flags`` dict.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("chunk_fault contexts do not nest")
+    manager = multiprocessing.Manager()
+    flags = manager.dict()
+    flags["armed"] = True
+    _ACTIVE = (action, flags)
+    executor_mod._evaluate_chunk = _faulty_evaluate_chunk
+    try:
+        yield flags
+    finally:
+        executor_mod._evaluate_chunk = _ORIGINAL_EVALUATE_CHUNK
+        _ACTIVE = None
+        manager.shutdown()
+
+
+class FlakyMapping:
+    """Wraps a shared mapping so exactly one access raises ConnectionError.
+
+    Both the read path (``get`` — the planner sync) and the write path
+    (``__setitem__`` — the heartbeat stamp) can fire; whichever access
+    wins the one-shot flag raises, every later access passes through.
+    Picklable (module-level class, proxy-backed state), so it survives
+    the pool-initializer round trip into workers.
+    """
+
+    def __init__(self, inner: Any, flags: Any) -> None:
+        self._inner = inner
+        self._flags = flags
+
+    def _maybe_fail(self) -> None:
+        if should_fire(self._flags):
+            raise ConnectionError("injected manager-store timeout")
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self._maybe_fail()
+        return self._inner.get(key, default)
+
+    def __getitem__(self, key: Any) -> Any:
+        self._maybe_fail()
+        return self._inner[key]
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._maybe_fail()
+        self._inner[key] = value
+
+    def __delitem__(self, key: Any) -> None:
+        del self._inner[key]
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._inner
+
+    def __iter__(self):
+        return iter(self._inner.keys())
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def keys(self):
+        return self._inner.keys()
+
+    def items(self):
+        return self._inner.items()
+
+
+def flood_telemetry(sink: Any, batches: int = 1200, per_batch: int = 3) -> int:
+    """Record far more sample batches than the sink retains.
+
+    Exercises the bounded sink's oldest-batch dropping and, downstream,
+    the front-end's consumed-offset clamp.  Returns the number of
+    samples recorded.
+    """
+    route = next(iter(ComplexityDegree)).value
+    sample = SolveSample(
+        route=route,
+        raw_units=1.0,
+        seconds=0.001,
+        core_size=2,
+        universe_size=10,
+        branching=1.5,
+    )
+    for _ in range(batches):
+        sink.record([sample] * per_batch)
+    return batches * per_batch

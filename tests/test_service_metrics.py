@@ -1,0 +1,295 @@
+"""Metrics-registry units and the stats() schema-stability regression.
+
+The schema test is deliberately strict: ``QueryService.stats()`` is the
+service's public observability contract, so adding a top-level key is a
+conscious act (update ``EXPECTED_STATS_KEYS`` here), and every value
+must stay within pure JSON types — dashboards parse this dict.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.eval import ExecutorConfig
+from repro.service import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QueryService,
+    register_store_metrics,
+)
+from repro.workloads import scenario_by_name
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return scenario_by_name("mixed_vocabulary", count=12, seed=5)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("jobs_total", "jobs")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == pytest.approx(3.5)
+
+    def test_counters_only_go_up(self):
+        counter = Counter("jobs_total", "jobs")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_labelled_series_are_independent(self):
+        counter = Counter("jobs_total", "jobs", labelnames=("kind",))
+        counter.inc(kind="a")
+        counter.inc(3, kind="b")
+        assert counter.value(kind="a") == 1.0
+        assert counter.value(kind="b") == 3.0
+        assert counter.collect() == {'{kind="a"}': 1.0, '{kind="b"}': 3.0}
+
+    def test_label_mismatch_rejected(self):
+        counter = Counter("jobs_total", "jobs", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            counter.inc(other="x")
+        with pytest.raises(ValueError):
+            counter.inc()  # labelled metric, no labels given
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("has space", "doc")
+
+    def test_render_exposition_lines(self):
+        counter = Counter("jobs_total", "processed jobs", labelnames=("kind",))
+        counter.inc(2, kind="a")
+        lines = counter.render()
+        assert lines[0] == "# HELP jobs_total processed jobs"
+        assert lines[1] == "# TYPE jobs_total counter"
+        assert 'jobs_total{kind="a"} 2' in lines
+
+
+class TestGauge:
+    def test_set_inc_value(self):
+        gauge = Gauge("depth", "queue depth")
+        gauge.set(4.0)
+        gauge.inc(-1.5)
+        assert gauge.value() == pytest.approx(2.5)
+
+    def test_callback_read_at_collection_time(self):
+        gauge = Gauge("depth", "queue depth")
+        state = {"value": 1.0}
+        gauge.set_function(lambda: state["value"])
+        assert gauge.value() == 1.0
+        state["value"] = 7.0
+        assert gauge.collect() == {"": 7.0}
+
+    def test_failing_callback_degrades_to_nan(self):
+        """A dead callback (closed store, shut-down manager) must not
+        take the whole scrape down."""
+        gauge = Gauge("depth", "queue depth")
+        gauge.set_function(lambda: 1 / 0)
+        collected = gauge.collect()
+        assert math.isnan(collected[""])
+        assert "NaN" in "\n".join(gauge.render())
+
+    def test_labelled_callbacks(self):
+        gauge = Gauge("size", "sizes", labelnames=("store",))
+        gauge.set_function(lambda: 3.0, store="profiles")
+        gauge.set(9.0, store="answers")
+        assert gauge.collect() == {
+            '{store="answers"}': 9.0,
+            '{store="profiles"}': 3.0,
+        }
+
+
+class TestHistogram:
+    def test_cumulative_buckets_sum_and_count(self):
+        histogram = Histogram("latency", "seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        collected = histogram.collect()[""]
+        assert collected["count"] == 4
+        assert collected["sum"] == pytest.approx(6.05)
+        # Buckets are cumulative: each bound counts every observation <= it.
+        assert collected["buckets"] == {"0.1": 1, "1": 3, "10": 4}
+
+    def test_observation_above_all_buckets_only_in_inf(self):
+        histogram = Histogram("latency", "seconds", buckets=(1.0,))
+        histogram.observe(100.0)
+        collected = histogram.collect()[""]
+        assert collected["buckets"] == {"1": 0}
+        assert collected["count"] == 1
+        lines = histogram.render()
+        assert 'latency_bucket{le="+Inf"} 1' in lines
+        assert "latency_count 1" in lines
+
+    def test_buckets_are_sorted_on_construction(self):
+        histogram = Histogram("latency", "seconds", buckets=(5.0, 1.0))
+        assert histogram.buckets == (1.0, 5.0)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("latency", "seconds", buckets=())
+
+
+class TestMetricsRegistry:
+    def test_namespace_prefix(self):
+        registry = MetricsRegistry(namespace="svc")
+        counter = registry.counter("jobs_total", "jobs")
+        assert counter.name == "svc_jobs_total"
+        assert registry.get("jobs_total") is counter
+
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("jobs_total", "jobs", labelnames=("kind",))
+        second = registry.counter("jobs_total", "ignored", labelnames=("kind",))
+        assert first is second
+
+    def test_shape_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "jobs", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            registry.counter("jobs_total", "jobs", labelnames=("other",))
+        with pytest.raises(ValueError):
+            registry.gauge("jobs_total", "jobs", labelnames=("kind",))
+
+    def test_collect_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "jobs").inc()
+        collected = registry.collect()
+        assert collected == {
+            "repro_jobs_total": {"type": "counter", "samples": {"": 1.0}}
+        }
+        json.dumps(collected)
+
+    def test_render_prometheus_interleaves_help_and_type(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "jobs").inc()
+        registry.gauge("depth", "queue depth").set(2)
+        text = registry.render_prometheus()
+        assert "# HELP repro_jobs_total jobs" in text
+        assert "# TYPE repro_jobs_total counter" in text
+        assert "# TYPE repro_depth gauge" in text
+        assert text.endswith("\n")
+
+    def test_register_store_metrics_exports_counters(self, scenario):
+        with QueryService(
+            scenario.database, executor=ExecutorConfig(workers=1)
+        ) as service:
+            service.evaluate(scenario.queries)
+            collected = service.metrics.collect()
+            store_samples = collected["repro_store_counter"]["samples"]
+            computes = store_samples['{store="profiles",counter="computes"}']
+            assert computes == service.stats()["classification_calls"]
+            assert '{store="answers",counter="hits"}' in store_samples
+            retained = collected["repro_telemetry_samples"]["samples"][""]
+            assert retained > 0
+
+
+EXPECTED_STATS_KEYS = {
+    "queries_served",
+    "batches_served",
+    "pending",
+    "shared_stores",
+    "classification_calls",
+    "stores",
+    "controller",
+    "mode_history",
+    "calibration",
+    "planner_mode",
+    "planner_version",
+    "monitor",
+    "autotune",
+    "metrics",
+}
+
+EXPECTED_MONITOR_KEYS = {
+    "recycles",
+    "recycle_events",
+    "redispatched_chunks",
+    "deadline_expiries",
+    "deadline_seconds",
+    "workers",
+}
+
+EXPECTED_AUTOTUNE_KEYS = {
+    "enabled",
+    "total_solves",
+    "solves_since_recalibration",
+    "cooldown_remaining",
+    "attempts",
+    "adopted",
+    "rejected",
+    "tracked_patterns",
+    "median_residual_factors",
+    "spawn_overhead",
+    "events",
+}
+
+EXPECTED_CONTROLLER_KEYS = {
+    "queries_observed",
+    "mean_seconds",
+    "spawn_overhead_seconds",
+    "drift_events",
+}
+
+
+def assert_json_types(value, path="stats"):
+    """Every leaf must be a pure JSON type — no proxies, enums, tuples."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            assert isinstance(key, str), f"non-string key {key!r} at {path}"
+            assert_json_types(item, f"{path}.{key}")
+        return
+    if isinstance(value, list):
+        for i, item in enumerate(value):
+            assert_json_types(item, f"{path}[{i}]")
+        return
+    raise AssertionError(f"non-JSON type {type(value).__name__} at {path}")
+
+
+class TestStatsSchema:
+    """The regression gate on the observability contract."""
+
+    @pytest.fixture(scope="class")
+    def stats(self, scenario):
+        with QueryService(
+            scenario.database, executor=ExecutorConfig(workers=1), autotune=True
+        ) as service:
+            service.evaluate(scenario.queries)
+            return service.stats()
+
+    def test_top_level_keys_are_exactly_the_contract(self, stats):
+        assert set(stats) == EXPECTED_STATS_KEYS
+
+    def test_nested_schemas(self, stats):
+        assert set(stats["monitor"]) == EXPECTED_MONITOR_KEYS
+        assert set(stats["autotune"]) == EXPECTED_AUTOTUNE_KEYS
+        assert set(stats["controller"]) == EXPECTED_CONTROLLER_KEYS
+        assert stats["autotune"]["enabled"] is True
+
+    def test_every_value_is_pure_json(self, stats):
+        assert_json_types(stats)
+
+    def test_json_round_trip_is_lossless(self, stats):
+        assert json.loads(json.dumps(stats)) == stats
+
+    def test_autotune_off_still_reports_the_key(self, scenario):
+        with QueryService(
+            scenario.database, executor=ExecutorConfig(workers=1)
+        ) as service:
+            stats = service.stats()
+            assert set(stats) == EXPECTED_STATS_KEYS
+            assert stats["autotune"] == {"enabled": False}
+
+    def test_render_prometheus_endpoint(self, scenario):
+        with QueryService(
+            scenario.database, executor=ExecutorConfig(workers=1)
+        ) as service:
+            service.evaluate(scenario.queries[:4])
+            text = service.render_prometheus()
+        assert "# TYPE repro_queries_total counter" in text
+        assert "# TYPE repro_batch_seconds histogram" in text
+        assert 'repro_queries_total{mode="sequential"} 4' in text
