@@ -1,5 +1,20 @@
 """Setup shim so that ``pip install -e . --no-use-pep517`` works offline
 (the environment has setuptools but no wheel package)."""
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.8.0",
+    description=(
+        "Reproduction of the tractable-homomorphism/bounded-width pipeline: "
+        "structures, decompositions, solvers, and the query service"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro-analyze = repro.analysis.cli:main",
+        ],
+    },
+)

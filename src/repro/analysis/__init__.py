@@ -1,0 +1,38 @@
+"""Repo-specific static analysis: the conventions, machine-checked.
+
+Seven PRs of concurrency work rest on conventions nothing enforced —
+atomic manager-proxy updates, seeded RNG, claims released in
+``finally``, worker state populated only through ``_initialize_worker``,
+canonical output built from *sorted* set iteration.  Two of the worst
+bugs so far (the fork-inherited claim token, the nullary-atom
+unsoundness) were convention violations found late by fuzzing.  This
+package turns the conventions into an AST pass that runs in CI:
+
+* :mod:`repro.analysis.findings` — the :class:`Finding` record.
+* :mod:`repro.analysis.registry` — checker registration and lookup.
+* :mod:`repro.analysis.scopes` — per-module AST context (parent links,
+  lock-scope tests, qualified-name resolution) shared by all checkers.
+* :mod:`repro.analysis.suppress` — inline ``# repro: ignore[RULE-ID]``.
+* :mod:`repro.analysis.baseline` — the documented-false-positive file.
+* :mod:`repro.analysis.checkers` — the five rule families
+  (determinism, fork-safety, proxy races, lock discipline, API
+  contracts).
+* :mod:`repro.analysis.runner` / :mod:`repro.analysis.cli` — the scan
+  driver behind ``python -m repro.analysis`` and ``repro-analyze``.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding, SEVERITIES
+from repro.analysis.registry import all_checkers, get_checker, register
+from repro.analysis.runner import Report, analyze_paths
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "SEVERITIES",
+    "Report",
+    "all_checkers",
+    "analyze_paths",
+    "get_checker",
+    "register",
+]

@@ -1,0 +1,89 @@
+"""The baseline file: documented false positives, nothing else.
+
+A baseline entry absorbs exactly one finding with a matching
+``(path, rule)`` — line numbers drift under ordinary edits, so they are
+recorded for the reader but not matched on.  Every entry must carry a
+``note`` saying *why* the finding is a false positive; an unexplained
+baseline is just a muted bug.  Entries that no longer match anything
+are reported as stale so the file shrinks back to empty over time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.exceptions import AnalysisError
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline: (path, rule) -> remaining absorption budget."""
+
+    entries: List[dict] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise AnalysisError(f"baseline file not found: {path}") from None
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"baseline file {path} is not valid JSON: {exc}") from None
+        entries = payload.get("findings") if isinstance(payload, dict) else payload
+        if not isinstance(entries, list):
+            raise AnalysisError(f"baseline file {path} must hold a list of findings")
+        for entry in entries:
+            if not isinstance(entry, dict) or "path" not in entry or "rule" not in entry:
+                raise AnalysisError(
+                    f"baseline entry {entry!r} needs at least 'path' and 'rule'"
+                )
+            if not str(entry.get("note", "")).strip():
+                raise AnalysisError(
+                    f"baseline entry for {entry['path']}:{entry['rule']} lacks a "
+                    "'note' documenting why it is a false positive"
+                )
+        return cls(entries=list(entries))
+
+    def apply(self, findings: List[Finding]) -> Tuple[List[Finding], int, List[dict]]:
+        """Split findings into (new, absorbed count, stale entries)."""
+        budget: Dict[Tuple[str, str], int] = {}
+        for entry in self.entries:
+            key = (str(entry["path"]), str(entry["rule"]))
+            budget[key] = budget.get(key, 0) + 1
+        fresh: List[Finding] = []
+        absorbed = 0
+        for finding in findings:
+            key = (finding.path, finding.rule)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                absorbed += 1
+            else:
+                fresh.append(finding)
+        stale = [
+            {"path": path, "rule": rule, "unmatched": count}
+            for (path, rule), count in sorted(budget.items())
+            if count > 0
+        ]
+        return fresh, absorbed, stale
+
+
+def write_baseline(path: str, findings: List[Finding]) -> None:
+    """Serialise current findings as a baseline skeleton (notes to fill in)."""
+    payload = {
+        "findings": [
+            {
+                "path": finding.path,
+                "rule": finding.rule,
+                "line": finding.line,
+                "note": "TODO: document why this is a false positive",
+            }
+            for finding in sorted(findings, key=Finding.sort_key)
+        ]
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")

@@ -1,0 +1,9 @@
+"""The five rule families; importing this package registers every rule."""
+
+from repro.analysis.checkers import (  # noqa: F401
+    contracts,
+    determinism,
+    fork_safety,
+    lock_discipline,
+    proxy_races,
+)

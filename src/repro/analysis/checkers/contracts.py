@@ -1,0 +1,115 @@
+"""Metrics/API contract rules.
+
+Three layering contracts the repo established and nothing enforced:
+
+* metrics are created through ``MetricsRegistry``'s get-or-create
+  methods so re-registration is idempotent and every metric appears in
+  one scrape — never by direct constructor outside the metrics module;
+* ``solve_with_degree`` is the dispatch boundary; only the dispatcher
+  itself, the executor's worker context, and the autotuner's probe may
+  call it — everything else goes through ``EvalService`` /
+  ``QueryService`` so stores, telemetry, and planner hot-swap apply;
+* ``legacy_*`` functions are frozen reference implementations for
+  differential tests; production modules must not grow dependencies on
+  another module's legacy path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.scopes import ModuleInfo, dotted_name
+
+_METRIC_CLASSES = {"Counter", "Gauge", "Histogram"}
+
+#: Modules allowed to call the dispatch entrypoint directly.
+_DISPATCH_ALLOWLIST = {
+    "classification/solver_dispatch.py",
+    "eval/executor.py",
+    "service/autotune.py",
+}
+
+
+@register
+class DirectMetricConstructor:
+    rule = "API001"
+    severity = "warning"
+    description = (
+        "metric built by direct constructor; use MetricsRegistry."
+        "counter/gauge/histogram so registration is idempotent"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.rel_path.endswith("service/metrics.py"):
+            return
+        metric_imports = {
+            local
+            for local, origin in module.imported_names.items()
+            if local in _METRIC_CLASSES and origin.rsplit(".", 1)[0].endswith("metrics")
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func) or ""
+            parts = name.split(".")
+            direct = parts[-1] in _METRIC_CLASSES and (
+                parts[0] in metric_imports
+                or (len(parts) > 1 and "metrics" in parts[-2])
+            )
+            if direct:
+                yield Finding(
+                    self.rule, self.severity, module.rel_path, node.lineno,
+                    f"'{name}(…)' bypasses the registry; a second "
+                    "registration of the same name will collide instead of "
+                    "reusing the metric",
+                )
+
+
+@register
+class DispatchBypass:
+    rule = "API002"
+    severity = "warning"
+    description = (
+        "solve_with_degree called outside the dispatch allowlist; route "
+        "through EvalService/QueryService instead"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if any(module.rel_path.endswith(allowed) for allowed in _DISPATCH_ALLOWLIST):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = (dotted_name(node.func) or "").split(".")[-1]
+            if name == "solve_with_degree":
+                yield Finding(
+                    self.rule, self.severity, module.rel_path, node.lineno,
+                    "direct solve_with_degree call bypasses the service "
+                    "dispatch (stores, telemetry, planner hot-swap)",
+                )
+
+
+@register
+class LegacyCoupling:
+    rule = "API003"
+    severity = "warning"
+    description = (
+        "cross-module call into a legacy_* reference implementation; "
+        "production code must use the current engine"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        locally_defined = module.defined_names()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = (dotted_name(node.func) or "").split(".")[-1]
+            if name.startswith("legacy_") and name not in locally_defined:
+                yield Finding(
+                    self.rule, self.severity, module.rel_path, node.lineno,
+                    f"call to '{name}' couples production code to a frozen "
+                    "reference implementation",
+                )

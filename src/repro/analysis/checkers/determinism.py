@@ -1,0 +1,237 @@
+"""Determinism rules: the solver stack must be a pure function of its seed.
+
+The whole test strategy (differential fuzzing, byte-identical recovery
+checks, cross-``PYTHONHASHSEED`` runs) assumes identical inputs give
+identical outputs.  These rules catch the ways that assumption quietly
+dies: ambient RNG state, hash-ordered set iteration leaking into
+canonical output, memory addresses used as tie-breakers, and wall-clock
+reads steering solver decisions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.scopes import ModuleInfo, dotted_name
+
+#: ``random`` module functions that read or mutate the shared global RNG.
+_GLOBAL_RNG_FUNCS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "seed", "getrandbits", "gauss", "betavariate",
+    "expovariate", "normalvariate", "triangular", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "lognormvariate", "randbytes",
+}
+
+#: Directories whose modules build canonical / ordered artefacts.
+_CANONICAL_DIRS = ("structures", "decomposition", "homomorphism")
+
+#: Directories that are solver routes: wall-clock reads there either
+#: steer results (nondeterminism) or belong one layer up (telemetry).
+_SOLVER_DIRS = ("structures", "decomposition", "homomorphism", "logic", "classification")
+
+#: Consumers that make iteration order observable.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple"}
+
+#: Wrappers that erase iteration order again.
+_ORDER_INSENSITIVE_CALLS = {
+    "sorted", "stable_sorted", "min", "max", "sum", "any", "all", "len",
+    "set", "frozenset", "Counter", "dict",
+}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Expressions that are sets *syntactically* — hash-ordered iteration."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func) or ""
+        if name in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union", "intersection", "difference", "symmetric_difference",
+        ):
+            return True
+    return False
+
+
+def _order_erased(module: ModuleInfo, node: ast.AST) -> bool:
+    """True when an enclosing call discards iteration order (sorted & co)."""
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.Call):
+            name = dotted_name(ancestor.func) or ""
+            if name.split(".")[-1] in _ORDER_INSENSITIVE_CALLS:
+                return True
+        if isinstance(ancestor, ast.stmt):
+            break
+    return False
+
+
+@register
+class UnseededRandom:
+    rule = "DET001"
+    severity = "error"
+    description = (
+        "ambient RNG: random-module functions or an unseeded Random(); "
+        "thread seeds explicitly (random.Random(seed))"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            # random.shuffle(...), np.random.choice(...), etc.
+            if len(parts) >= 2 and parts[-2] == "random" and parts[-1] in _GLOBAL_RNG_FUNCS:
+                yield Finding(
+                    self.rule, self.severity, module.rel_path, node.lineno,
+                    f"call to global-state RNG '{name}'; use an explicitly "
+                    "seeded random.Random instance",
+                )
+            # Random() / random.Random() with no seed argument.
+            elif parts[-1] in ("Random", "RandomState", "default_rng"):
+                resolved = module.imported_names.get(parts[0], name)
+                if "random" in resolved or len(parts) > 1:
+                    if not node.args and not node.keywords:
+                        yield Finding(
+                            self.rule, self.severity, module.rel_path, node.lineno,
+                            f"'{name}()' constructed without a seed",
+                        )
+
+
+@register
+class UnorderedIterationIntoOrderedOutput:
+    rule = "DET002"
+    severity = "warning"
+    description = (
+        "iteration over a set expression feeding ordered output without "
+        "sorted() in structures/, decomposition/, homomorphism/"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_dirs(*_CANONICAL_DIRS):
+            return
+        for node in ast.walk(module.tree):
+            # [f(x) for x in {…}] and (f(x) for x in {…}) into list/tuple/join
+            if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                if not any(_is_set_expr(gen.iter) for gen in node.generators):
+                    continue
+                if _order_erased(module, node):
+                    continue
+                if isinstance(node, ast.GeneratorExp):
+                    parent = module.parents.get(node)
+                    consumed = (
+                        isinstance(parent, ast.Call)
+                        and (
+                            (dotted_name(parent.func) or "").split(".")[-1]
+                            in _ORDER_SENSITIVE_CALLS
+                            or (
+                                isinstance(parent.func, ast.Attribute)
+                                and parent.func.attr == "join"
+                            )
+                        )
+                    )
+                    if not consumed:
+                        continue
+                yield Finding(
+                    self.rule, self.severity, module.rel_path, node.lineno,
+                    "set iteration feeds an ordered collection; wrap the set "
+                    "in sorted(..., key=repr) or an explicit key",
+                )
+            # list({…}) / tuple({…}) directly.
+            elif isinstance(node, ast.Call):
+                name = (dotted_name(node.func) or "").split(".")[-1]
+                if (
+                    name in _ORDER_SENSITIVE_CALLS
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                    and not _order_erased(module, node)
+                ):
+                    yield Finding(
+                        self.rule, self.severity, module.rel_path, node.lineno,
+                        f"{name}() materialises a set in hash order; sort first",
+                    )
+            # for x in {…}: …append(…) — order-dependent accumulation.
+            elif isinstance(node, ast.For) and _is_set_expr(node.iter):
+                accumulates = any(
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr in ("append", "extend", "insert")
+                    for body_stmt in node.body
+                    for inner in ast.walk(body_stmt)
+                )
+                if accumulates:
+                    yield Finding(
+                        self.rule, self.severity, module.rel_path, node.lineno,
+                        "loop over a set expression accumulates into an "
+                        "ordered collection; iterate sorted(...) instead",
+                    )
+
+
+@register
+class IdBasedSortKey:
+    rule = "DET003"
+    severity = "error"
+    description = "id() used as (part of) a sort key — address-order output"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func) or ""
+            is_sort = callee.split(".")[-1] in ("sorted", "sort", "min", "max")
+            if not is_sort:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "key":
+                    continue
+                value = keyword.value
+                uses_id = (isinstance(value, ast.Name) and value.id == "id") or any(
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Name)
+                    and inner.func.id == "id"
+                    for inner in ast.walk(value)
+                )
+                if uses_id:
+                    yield Finding(
+                        self.rule, self.severity, module.rel_path, node.lineno,
+                        "sort key calls id(); memory addresses vary per run — "
+                        "use repr() or a structural key",
+                    )
+
+
+@register
+class WallClockInSolverRoute:
+    rule = "DET004"
+    severity = "warning"
+    description = (
+        "wall-clock read (time.time, datetime.now, …) inside a solver "
+        "directory; use time.monotonic/perf_counter at the service layer"
+    )
+
+    _WALL_CLOCK = {
+        "time.time", "time.ctime", "time.localtime", "time.gmtime",
+        "time.time_ns", "datetime.now", "datetime.today", "datetime.utcnow",
+        "date.today",
+    }
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_dirs(*_SOLVER_DIRS):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            tail = ".".join(name.split(".")[-2:])
+            if tail in self._WALL_CLOCK:
+                yield Finding(
+                    self.rule, self.severity, module.rel_path, node.lineno,
+                    f"wall-clock call '{name}' in a solver route",
+                )

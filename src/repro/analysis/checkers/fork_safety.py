@@ -1,0 +1,230 @@
+"""Fork/spawn-safety rules for code shipped to pool workers.
+
+The executor's pool runs under whatever start method the platform
+picks, so worker code must be correct under *both* fork (module state
+inherited by memory copy) and spawn (module re-imported from scratch).
+That leaves exactly one sanctioned channel for worker state: a module
+global rebound inside the registered ``initializer`` (the
+``_initialize_worker`` / ``_WORKER_CONTEXT`` idiom in
+:mod:`repro.eval.executor`).  These rules flag the ways code leaks
+around that channel: unpicklable/ambiguous callables handed to the
+pool, worker globals never populated by the initializer, and identity
+tokens minted at construction time that fork silently duplicates (the
+PR 5 claim-token bug).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.scopes import (
+    ModuleInfo,
+    called_function_names,
+    dotted_name,
+    global_rebinds,
+    local_bindings,
+)
+
+#: Executor/pool methods whose first argument runs in another process.
+_DISPATCH_METHODS = {
+    "submit", "apply_async", "map_async", "imap", "imap_unordered",
+    "starmap", "starmap_async",
+}
+
+#: ``.map`` is too common a name; only trust it on pool-ish receivers.
+_POOLISH_RECEIVER_HINTS = ("pool", "executor")
+
+
+def _dispatched_callables(module: ModuleInfo) -> List[ast.AST]:
+    """AST nodes passed to a pool as the remote callable or initializer."""
+    out: List[ast.AST] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            receiver = (dotted_name(node.func.value) or "").lower()
+            poolish = any(hint in receiver for hint in _POOLISH_RECEIVER_HINTS)
+            if attr in _DISPATCH_METHODS or (attr == "map" and poolish):
+                if node.args:
+                    out.append(node.args[0])
+        for keyword in node.keywords:
+            if keyword.arg == "initializer":
+                out.append(keyword.value)
+    return out
+
+
+@register
+class NonModuleCallableToExecutor:
+    rule = "FRK001"
+    severity = "error"
+    description = (
+        "lambda, closure, or bound method handed to an executor; ship a "
+        "module-level function instead"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        module_funcs = set(module.module_functions())
+        for fn in _dispatched_callables(module):
+            line = getattr(fn, "lineno", 0)
+            target = fn
+            # functools.partial(inner, …): judge the wrapped callable.
+            if isinstance(fn, ast.Call) and (dotted_name(fn.func) or "").endswith(
+                "partial"
+            ):
+                if fn.args:
+                    target = fn.args[0]
+            if isinstance(target, ast.Lambda):
+                yield Finding(
+                    self.rule, self.severity, module.rel_path, line,
+                    "lambda dispatched to a pool; lambdas do not pickle and "
+                    "capture parent state",
+                )
+            elif isinstance(target, ast.Attribute):
+                base = dotted_name(target.value) or ""
+                if base == "self" or base.split(".")[0] == "self":
+                    yield Finding(
+                        self.rule, self.severity, module.rel_path, line,
+                        "bound method dispatched to a pool; the whole instance "
+                        "is shipped (or inherited stale under fork)",
+                    )
+            elif isinstance(target, ast.Name):
+                enclosing = module.enclosing_function(fn)
+                if enclosing is not None and target.id not in module_funcs:
+                    nested = any(
+                        isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and inner.name == target.id
+                        for inner in ast.walk(enclosing)
+                    )
+                    if nested:
+                        yield Finding(
+                            self.rule, self.severity, module.rel_path, line,
+                            f"closure '{target.id}' dispatched to a pool; "
+                            "define it at module level",
+                        )
+
+
+@register
+class WorkerGlobalNotInitialized:
+    rule = "FRK002"
+    severity = "error"
+    description = (
+        "pool-dispatched function reads a module-level mutable global that "
+        "no registered initializer rebinds via 'global'"
+    )
+
+    _MUTABLE_FACTORY_CALLS = {"dict", "list", "set", "defaultdict", "deque", "OrderedDict"}
+
+    def _worker_state_globals(self, module: ModuleInfo) -> Dict[str, int]:
+        """Module globals that look like per-process worker state."""
+        out: Dict[str, int] = {}
+        for node in module.tree.body:
+            targets: List[ast.Name] = []
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets = [t for t in node.targets if isinstance(t, ast.Name)]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                targets = [node.target]
+                value = node.value
+            if not targets or value is None:
+                continue
+            mutable = isinstance(
+                value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+            )
+            if isinstance(value, ast.Call):
+                callee = (dotted_name(value.func) or "").split(".")[-1]
+                mutable = mutable or callee in self._MUTABLE_FACTORY_CALLS
+            if isinstance(value, ast.Constant) and value.value is None:
+                mutable = True  # the None-until-initialized worker-slot idiom
+            if mutable:
+                for target in targets:
+                    out[target.id] = node.lineno
+        return out
+
+    def _initializer_rebinds(self, module: ModuleInfo) -> Set[str]:
+        """Globals rebound by the registered initializer (2-level reach)."""
+        funcs = module.module_functions()
+        roots: List[str] = []
+        for fn in _dispatched_callables(module):
+            parent = module.parents.get(fn)
+            is_initializer = (
+                isinstance(parent, ast.keyword) and parent.arg == "initializer"
+            )
+            if is_initializer and isinstance(fn, ast.Name) and fn.id in funcs:
+                roots.append(fn.id)
+        # The conventional name counts even when the pool is built elsewhere.
+        roots.extend(name for name in funcs if name.startswith("_initialize_worker"))
+        rebound: Set[str] = set()
+        seen: Set[str] = set()
+        frontier = list(dict.fromkeys(roots))
+        for _ in range(2):
+            next_frontier: List[str] = []
+            for name in frontier:
+                if name in seen or name not in funcs:
+                    continue
+                seen.add(name)
+                rebound.update(global_rebinds(funcs[name]))
+                next_frontier.extend(called_function_names(funcs[name]))
+            frontier = next_frontier
+        return rebound
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        state_globals = self._worker_state_globals(module)
+        if not state_globals:
+            return
+        funcs = module.module_functions()
+        dispatched: List[ast.FunctionDef] = []
+        for fn in _dispatched_callables(module):
+            parent = module.parents.get(fn)
+            if isinstance(parent, ast.keyword) and parent.arg == "initializer":
+                continue  # the initializer populates; it does not consume
+            if isinstance(fn, ast.Name) and fn.id in funcs:
+                dispatched.append(funcs[fn.id])
+        if not dispatched:
+            return
+        rebound = self._initializer_rebinds(module)
+        for func in dispatched:
+            bound = local_bindings(func)
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in state_globals
+                    and node.id not in bound
+                    and node.id not in rebound
+                ):
+                    yield Finding(
+                        self.rule, self.severity, module.rel_path, node.lineno,
+                        f"'{func.name}' runs in pool workers but reads global "
+                        f"'{node.id}' that no initializer rebinds — stale "
+                        "under fork, empty under spawn",
+                    )
+
+
+@register
+class ConstructionTimeProcessToken:
+    rule = "FRK003"
+    severity = "error"
+    description = (
+        "os.getpid() captured in __init__; fork duplicates the token into "
+        "every worker — read the pid per call instead"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.FunctionDef) and node.name == "__init__"):
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Call):
+                    name = dotted_name(inner.func) or ""
+                    resolved = module.imported_names.get(name, name)
+                    if name == "os.getpid" or resolved == "os.getpid":
+                        yield Finding(
+                            self.rule, self.severity, module.rel_path, inner.lineno,
+                            "process id captured at construction time; every "
+                            "forked worker inherits the parent's value",
+                        )

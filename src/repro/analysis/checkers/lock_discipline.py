@@ -1,0 +1,87 @@
+"""Lock-discipline rule: locked in one method means locked in all.
+
+If a class rebinds ``self.x`` under ``with self._lock:`` anywhere, the
+author decided ``x`` is shared mutable state — so a lock-free rebind
+*or read* of the same attribute in another method is either a data race
+or (at best) an undocumented single-threaded assumption that the next
+refactor silently breaks.
+
+Initialisation is exempt: ``__init__`` and the pickling dunders run
+before the object is shared.  Atomic single proxy operations (method
+calls *through* the attribute, like ``self._data.get(k)``) are not
+rebinds and are judged by the proxy-race rules instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.scopes import ModuleInfo
+
+_EXEMPT_METHODS = {"__init__", "__new__", "__getstate__", "__setstate__", "__del__"}
+
+
+def _self_attr_target(node: ast.AST) -> str:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+@register
+class InconsistentLockUse:
+    rule = "LCK001"
+    severity = "warning"
+    description = (
+        "attribute rebound under 'with self._lock' in one method but "
+        "accessed lock-free in another method of the same class"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            methods = [
+                node for node in cls.body if isinstance(node, ast.FunctionDef)
+            ]
+            locked_attrs: Set[str] = set()
+            for method in methods:
+                if method.name in _EXEMPT_METHODS:
+                    continue
+                for node in ast.walk(method):
+                    attr = ""
+                    if isinstance(node, ast.Assign):
+                        for target in node.targets:
+                            attr = attr or _self_attr_target(target)
+                    elif isinstance(node, ast.AugAssign):
+                        attr = _self_attr_target(node.target)
+                    if attr and module.in_lock_with(node):
+                        locked_attrs.add(attr)
+            if not locked_attrs:
+                continue
+            for method in methods:
+                if method.name in _EXEMPT_METHODS:
+                    continue
+                for node in ast.walk(method):
+                    attr = _self_attr_target(node)
+                    if attr not in locked_attrs:
+                        continue
+                    # Only Load/Store uses of the attribute itself count;
+                    # self.x.method() judgments belong to the proxy rules.
+                    parent = module.parents.get(node)
+                    if isinstance(parent, ast.Call) and parent.func is node:
+                        continue
+                    if not module.in_lock_with(node):
+                        yield Finding(
+                            self.rule, self.severity, module.rel_path,
+                            node.lineno,
+                            f"'self.{attr}' is rebound under the lock in "
+                            f"another method but accessed lock-free in "
+                            f"'{method.name}'",
+                        )

@@ -1,0 +1,368 @@
+"""Manager-proxy race rules.
+
+A ``multiprocessing.Manager`` proxy executes each *single* operation
+atomically in the manager process; anything composed of two operations
+(read-modify-write, check-then-act, mutate-the-returned-copy) races
+against every other process sharing the proxy.  The repo's convention:
+compose under ``with <lock>:``, publish with one assignment, and
+release ``setdefault``-acquired claims in a ``finally``.
+
+Proxy-ness is established by lightweight taint tracking inside each
+module: values built by ``manager.dict()`` / ``manager.list()`` (or a
+``Manager()`` call chain) taint the attributes they are stored into —
+including through ``__init__`` parameters when the constructor call
+site is in the same module (the ``cls(data=manager.dict(), …)``
+classmethod idiom).  Names matching obvious shared-state hints
+(``proxy``, ``heartbeat``, ``board``) are tainted by name.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.scopes import ModuleInfo, dotted_name
+
+_NAME_HINTS = re.compile(r"proxy|heartbeat|board", re.IGNORECASE)
+
+_PROXY_FACTORY_ATTRS = {"dict", "list", "Namespace", "Queue", "Value", "Array"}
+
+#: Mutators that operate on a *copy* when called on ``proxy[k]`` — the
+#: classic silent lost update.
+_COPY_MUTATORS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "remove", "discard", "clear", "sort",
+}
+
+
+def _is_manager_factory(node: ast.AST) -> bool:
+    """``manager.dict()``, ``self._manager.list()``, ``Manager().dict()``…"""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return False
+    if node.func.attr not in _PROXY_FACTORY_ATTRS:
+        return False
+    receiver = dotted_name(node.func.value) or ""
+    return "manager" in receiver.lower()
+
+
+def _attr_self_name(node: ast.AST) -> Optional[str]:
+    """``self.X`` -> ``X`` (one level only)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _Taint:
+    """Per-module proxy taint: self-attribute names + bare names."""
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self.attrs: Set[str] = set()
+        self.names: Set[str] = set()
+        self._build()
+
+    def _build(self) -> None:
+        module = self.module
+        # Pass 1: direct flows — self.X = manager.dict(), name = manager.list().
+        init_params: Dict[str, Dict[str, str]] = {}  # class -> param -> attr
+        class_of_init: Dict[str, ast.ClassDef] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and _is_manager_factory(node.value):
+                for target in node.targets:
+                    attr = _attr_self_name(target)
+                    if attr is not None:
+                        self.attrs.add(attr)
+                    elif isinstance(target, ast.Name):
+                        self.names.add(target.id)
+            if isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+                        mapping: Dict[str, str] = {}
+                        params = [a.arg for a in item.args.args[1:]]  # drop self
+                        for stmt in ast.walk(item):
+                            if isinstance(stmt, ast.Assign) and isinstance(
+                                stmt.value, ast.Name
+                            ):
+                                attr = (
+                                    _attr_self_name(stmt.targets[0])
+                                    if stmt.targets
+                                    else None
+                                )
+                                if attr is not None and stmt.value.id in params:
+                                    mapping[stmt.value.id] = attr
+                        init_params[node.name] = mapping
+                        class_of_init[node.name] = node
+        # Pass 2: constructor-site flows — Class(data=manager.dict(), …) or
+        # cls(manager.list(), …) inside a classmethod of the same class.
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            target_class: Optional[str] = None
+            if callee in init_params:
+                target_class = callee
+            elif callee == "cls":
+                enclosing = self.module.enclosing_class(node)
+                if enclosing is not None and enclosing.name in init_params:
+                    target_class = enclosing.name
+            if target_class is None:
+                continue
+            mapping = init_params[target_class]
+            init = next(
+                (
+                    item
+                    for item in class_of_init[target_class].body
+                    if isinstance(item, ast.FunctionDef) and item.name == "__init__"
+                ),
+                None,
+            )
+            positional = [a.arg for a in init.args.args[1:]] if init else []
+            for index, arg in enumerate(node.args):
+                if _is_manager_factory(arg) and index < len(positional):
+                    attr = mapping.get(positional[index])
+                    if attr:
+                        self.attrs.add(attr)
+            for keyword in node.keywords:
+                if keyword.arg and _is_manager_factory(keyword.value):
+                    attr = mapping.get(keyword.arg)
+                    if attr:
+                        self.attrs.add(attr)
+        # Pass 3: name hints.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and _NAME_HINTS.search(node.attr):
+                attr = _attr_self_name(node)
+                if attr is not None:
+                    self.attrs.add(attr)
+            elif isinstance(node, ast.arg) and _NAME_HINTS.search(node.arg):
+                self.names.add(node.arg)
+
+    def is_tainted(self, node: ast.AST) -> bool:
+        attr = _attr_self_name(node)
+        if attr is not None:
+            return attr in self.attrs
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        return False
+
+    def render(self, node: ast.AST) -> str:
+        return dotted_name(node) or "<proxy>"
+
+
+def _expr_key(node: ast.AST) -> Optional[str]:
+    return dotted_name(node)
+
+
+def _contains_ref(tree: ast.AST, key: str) -> bool:
+    for node in ast.walk(tree):
+        if _expr_key(node) == key and not isinstance(
+            node, (ast.Subscript, ast.Call)
+        ):
+            return True
+    return False
+
+
+@register
+class NonAtomicProxyUpdate:
+    rule = "PRX001"
+    severity = "error"
+    description = (
+        "non-atomic operation on a manager proxy outside a lock: "
+        "read-modify-write, check-then-mutate, or mutating proxy[k]'s copy"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        taint = _Taint(module)
+        if not taint.attrs and not taint.names:
+            return
+        for node in ast.walk(module.tree):
+            # proxy[k] += v
+            if isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Subscript):
+                base = node.target.value
+                if taint.is_tainted(base) and not module.in_lock_with(node):
+                    yield Finding(
+                        self.rule, self.severity, module.rel_path, node.lineno,
+                        f"augmented assignment on proxy '{taint.render(base)}' "
+                        "is a read + write of two proxy ops; guard with the "
+                        "store lock",
+                    )
+            # proxy[k] = f(proxy[k] / proxy.get(k))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Subscript):
+                        continue
+                    base = target.value
+                    if not taint.is_tainted(base):
+                        continue
+                    key = _expr_key(base)
+                    reads_self = any(
+                        (
+                            isinstance(inner, ast.Subscript)
+                            and _expr_key(inner.value) == key
+                        )
+                        or (
+                            isinstance(inner, ast.Call)
+                            and isinstance(inner.func, ast.Attribute)
+                            and inner.func.attr in ("get", "setdefault")
+                            and _expr_key(inner.func.value) == key
+                        )
+                        for inner in ast.walk(node.value)
+                    )
+                    if reads_self and not module.in_lock_with(node):
+                        yield Finding(
+                            self.rule, self.severity, module.rel_path, node.lineno,
+                            f"read-modify-write on proxy '{taint.render(base)}' "
+                            "outside a lock — concurrent updates are lost",
+                        )
+            # proxy[k].append(...) / proxy.get(k).update(...) — mutates a copy.
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                receiver = node.func.value
+                mutator = node.func.attr
+                if mutator not in _COPY_MUTATORS:
+                    continue
+                inner_base: Optional[ast.AST] = None
+                if isinstance(receiver, ast.Subscript):
+                    inner_base = receiver.value
+                elif (
+                    isinstance(receiver, ast.Call)
+                    and isinstance(receiver.func, ast.Attribute)
+                    and receiver.func.attr == "get"
+                ):
+                    inner_base = receiver.func.value
+                if inner_base is not None and taint.is_tainted(inner_base):
+                    yield Finding(
+                        self.rule, self.severity, module.rel_path, node.lineno,
+                        f"'.{mutator}()' on a value fetched from proxy "
+                        f"'{taint.render(inner_base)}' mutates a local copy — "
+                        "the update is silently lost; reassign through the "
+                        "proxy under the lock",
+                    )
+            # while len(proxy) > n: proxy.pop(...)  /  if k in proxy: del proxy[k]
+            elif isinstance(node, (ast.While, ast.If)):
+                guarded = self._guard_keys(node.test, taint)
+                if not guarded or module.in_lock_with(node):
+                    continue
+                for stmt in node.body:
+                    for inner in ast.walk(stmt):
+                        hit = self._mutation_on(inner, guarded)
+                        if hit is not None:
+                            yield Finding(
+                                self.rule, self.severity, module.rel_path,
+                                inner.lineno,
+                                f"check-then-mutate on proxy '{hit}': the "
+                                "guard and the mutation are separate proxy "
+                                "ops — another process can interleave; hold "
+                                "the lock across both",
+                            )
+
+    def _guard_keys(self, test: ast.AST, taint: "_Taint") -> Set[str]:
+        """Proxy expressions whose size/membership the guard inspects."""
+        keys: Set[str] = set()
+        for node in ast.walk(test):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "len"
+                and node.args
+                and taint.is_tainted(node.args[0])
+            ):
+                keys.add(_expr_key(node.args[0]) or "")
+            elif isinstance(node, ast.Compare):
+                for op, comparator in zip(node.ops, node.comparators):
+                    if isinstance(op, (ast.In, ast.NotIn)) and taint.is_tainted(
+                        comparator
+                    ):
+                        keys.add(_expr_key(comparator) or "")
+        keys.discard("")
+        return keys
+
+    def _mutation_on(self, node: ast.AST, guarded: Set[str]) -> Optional[str]:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("pop", "remove", "popitem", "clear")
+            and _expr_key(node.func.value) in guarded
+        ):
+            return _expr_key(node.func.value)
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and _expr_key(target.value) in guarded
+                ):
+                    return _expr_key(target.value)
+        return None
+
+
+@register
+class ClaimWithoutFinallyRelease:
+    rule = "PRX002"
+    severity = "error"
+    description = (
+        "setdefault-acquired claim on a proxy without a finally-based "
+        "release; a failure after the claim wedges every waiter"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        taint = _Taint(module)
+        if not taint.attrs and not taint.names:
+            return
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            claim_calls = [
+                node
+                for node in ast.walk(func)
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "setdefault"
+                and taint.is_tainted(node.func.value)
+            ]
+            for call in claim_calls:
+                key = _expr_key(call.func.value)
+                if key is None:
+                    continue
+                if not self._claims_and_computes(func, call):
+                    continue
+                if not self._released_in_finally(func, key):
+                    yield Finding(
+                        self.rule, self.severity, module.rel_path, call.lineno,
+                        f"claim acquired via '{key}.setdefault' but no "
+                        "'finally' deletes the claim; release it in a "
+                        "try/finally so failures after the claim cannot "
+                        "strand waiters",
+                    )
+
+    def _claims_and_computes(self, func: ast.AST, call: ast.Call) -> bool:
+        """Only flag the claim idiom: the result is kept and work follows."""
+        # The result must be bound (a bare setdefault is a plain default-put).
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and call in ast.walk(node):
+                return True
+        return False
+
+    def _released_in_finally(self, func: ast.AST, key: str) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Try) and node.finalbody:
+                for stmt in node.finalbody:
+                    for inner in ast.walk(stmt):
+                        if isinstance(inner, ast.Delete) and any(
+                            isinstance(target, ast.Subscript)
+                            and _expr_key(target.value) == key
+                            for target in inner.targets
+                        ):
+                            return True
+                        if (
+                            isinstance(inner, ast.Call)
+                            and isinstance(inner.func, ast.Attribute)
+                            and inner.func.attr == "pop"
+                            and _expr_key(inner.func.value) == key
+                        ):
+                            return True
+        return False

@@ -1,0 +1,104 @@
+"""``python -m repro.analysis`` / ``repro-analyze``: the scan front door.
+
+Exit codes: 0 — clean (modulo suppressions and baseline); 1 — findings
+or unparseable files; 2 — the tool itself was misused
+(:class:`~repro.exceptions.AnalysisError`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.baseline import Baseline, write_baseline
+from repro.analysis.registry import rule_catalogue
+from repro.analysis.runner import analyze_paths
+from repro.exceptions import AnalysisError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description=(
+            "Repo-specific static analysis: determinism, fork-safety, "
+            "manager-proxy races, lock discipline, API contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="JSON baseline of documented false positives to subtract",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="write current findings as a baseline skeleton and exit 0",
+    )
+    parser.add_argument(
+        "--rules", metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+    try:
+        if options.list_rules:
+            for row in rule_catalogue():
+                print(f"{row['rule']}  [{row['severity']:7s}] {row['description']}")
+            return 0
+        rules = (
+            [part.strip() for part in options.rules.split(",") if part.strip()]
+            if options.rules
+            else None
+        )
+        baseline = Baseline.load(options.baseline) if options.baseline else None
+        report = analyze_paths(options.paths, rules=rules, baseline=baseline)
+        if options.write_baseline:
+            write_baseline(options.write_baseline, report.findings)
+            print(
+                f"wrote {len(report.findings)} finding(s) to "
+                f"{options.write_baseline}; fill in the notes"
+            )
+            return 0
+        if options.format == "json":
+            json.dump(report.to_dict(), sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        else:
+            for finding in report.findings:
+                print(finding.render())
+            for error in report.parse_errors:
+                print(f"{error['path']}: PARSE [error] {error['error']}")
+            for entry in report.stale_baseline:
+                print(
+                    f"note: stale baseline entry {entry['path']}:{entry['rule']} "
+                    f"(x{entry['unmatched']}) — remove it"
+                )
+            summary = (
+                f"{len(report.findings)} finding(s) in {report.files_scanned} "
+                f"file(s); {report.suppressed} suppressed inline, "
+                f"{report.baselined} baselined"
+            )
+            print(("FAIL: " if not report.clean else "OK: ") + summary)
+        return 0 if report.clean else 1
+    except AnalysisError as exc:
+        print(f"repro-analyze: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The unit of analyzer output: one rule violation at one source line."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+#: Recognised severities, most severe first.  ``error`` marks a pattern
+#: that is a bug whenever it fires (a race, a fork hazard); ``warning``
+#: marks a heuristic that occasionally needs a documented suppression.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation: rule id, severity, location, and a message."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} [{self.severity}] {self.message}"

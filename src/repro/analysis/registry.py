@@ -1,0 +1,68 @@
+"""The checker registry: one instance per rule id, registered on import.
+
+A checker is a class with ``rule`` (the stable id findings carry),
+``severity``, a one-line ``description`` for the catalogue, and a
+``check(module)`` generator yielding :class:`~repro.analysis.findings
+.Finding` objects.  Modules in :mod:`repro.analysis.checkers` register
+their rules with the :func:`register` decorator at import time; the
+runner imports that package once and asks :func:`all_checkers`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.findings import SEVERITIES
+from repro.exceptions import AnalysisError
+
+_REGISTRY: Dict[str, object] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate and file the checker under its rule id."""
+    checker = cls()
+    rule = getattr(checker, "rule", None)
+    if not rule or not isinstance(rule, str):
+        raise AnalysisError(f"checker {cls.__name__} lacks a rule id")
+    if getattr(checker, "severity", None) not in SEVERITIES:
+        raise AnalysisError(f"checker {rule} has an unknown severity")
+    if rule in _REGISTRY:
+        raise AnalysisError(f"duplicate checker registration for {rule}")
+    _REGISTRY[rule] = checker
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # The checkers package registers everything as an import side effect.
+    import repro.analysis.checkers  # noqa: F401
+
+
+def all_checkers(rules: Optional[Iterable[str]] = None) -> List[object]:
+    """Every registered checker (or the named subset), rule-id order."""
+    _ensure_loaded()
+    if rules is None:
+        return [_REGISTRY[rule] for rule in sorted(_REGISTRY)]
+    return [get_checker(rule) for rule in sorted(set(rules))]
+
+
+def get_checker(rule: str) -> object:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[rule]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown rule {rule!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def rule_catalogue() -> List[dict]:
+    """(rule, severity, description) rows for ``--list-rules`` and docs."""
+    _ensure_loaded()
+    return [
+        {
+            "rule": rule,
+            "severity": checker.severity,
+            "description": checker.description,
+        }
+        for rule, checker in sorted(_REGISTRY.items())
+    ]

@@ -1,0 +1,117 @@
+"""The scan driver: files -> modules -> checkers -> report."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_checkers
+from repro.analysis.scopes import ModuleInfo
+from repro.analysis.suppress import gather, is_suppressed
+from repro.exceptions import AnalysisError
+
+
+@dataclass
+class Report:
+    """One scan's outcome, JSON-projectable for the CI artifact."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    stale_baseline: List[dict] = field(default_factory=list)
+    parse_errors: List[dict] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "clean": self.clean,
+            "files_scanned": self.files_scanned,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "stale_baseline": self.stale_baseline,
+            "parse_errors": self.parse_errors,
+        }
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand the CLI path arguments into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                files.append(path)
+        elif path.is_dir():
+            files.extend(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        else:
+            raise AnalysisError(f"no such file or directory: {raw}")
+    return sorted(set(files))
+
+
+def _relative(path: Path, roots: List[Path]) -> str:
+    """Report paths relative to the scan root when possible.
+
+    Rule scoping (directory membership, allowlists) keys off this
+    relative path, so scanning from the repo root and from inside
+    ``src`` produce the same findings.
+    """
+    resolved = path.resolve()
+    for root in roots:
+        try:
+            return resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            continue
+    return path.as_posix()
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    rules: Optional[Iterable[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> Report:
+    """Run the registered checkers over every Python file under ``paths``."""
+    raw_paths = list(paths)
+    files = iter_python_files(raw_paths)
+    roots = [Path(raw) for raw in raw_paths if Path(raw).is_dir()]
+    checkers = all_checkers(rules)
+    report = Report()
+    collected: List[Finding] = []
+    for file_path in files:
+        rel = _relative(file_path, roots)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file_path))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            report.parse_errors.append({"path": rel, "error": str(exc)})
+            continue
+        report.files_scanned += 1
+        module = ModuleInfo(rel, source, tree)
+        suppressions = gather(source)
+        for checker in checkers:
+            for finding in checker.check(module):
+                if is_suppressed(suppressions, finding.line, finding.rule):
+                    report.suppressed += 1
+                else:
+                    collected.append(finding)
+    collected.sort(key=Finding.sort_key)
+    if baseline is not None:
+        fresh, absorbed, stale = baseline.apply(collected)
+        report.findings = fresh
+        report.baselined = absorbed
+        report.stale_baseline = stale
+    else:
+        report.findings = collected
+    return report

@@ -1,0 +1,196 @@
+"""Per-module AST context shared by every checker.
+
+One :class:`ModuleInfo` is built per scanned file; it owns the parse
+tree plus the lazily computed cross-cutting facts the rule families
+keep needing: parent links (the :mod:`ast` tree has none), dotted-name
+rendering, "is this node inside a ``with <lock>:``" tests, and the
+module's import table.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Dict, Iterator, List, Optional, Set
+
+#: Context-manager expressions whose rendered name contains one of
+#: these substrings count as lock scopes for the discipline checks.
+_LOCK_HINTS = ("lock", "mutex", "rlock", "semaphore", "condition")
+
+
+class ModuleInfo:
+    """A parsed module plus the derived facts checkers share."""
+
+    def __init__(self, rel_path: str, source: str, tree: ast.Module) -> None:
+        self.rel_path = rel_path
+        self.source = source
+        self.tree = tree
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        self._imported_modules: Optional[Set[str]] = None
+        self._imported_names: Optional[Dict[str, str]] = None
+
+    # -- path scoping --------------------------------------------------------
+    def in_dirs(self, *names: str) -> bool:
+        """True when the module lives under any of the named directories."""
+        parts = set(PurePosixPath(self.rel_path).parts[:-1])
+        return any(name in parts for name in names)
+
+    @property
+    def file_name(self) -> str:
+        return PurePosixPath(self.rel_path).name
+
+    # -- parent links --------------------------------------------------------
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            table: Dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    table[child] = parent
+            self._parents = table
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    # -- lock scopes ---------------------------------------------------------
+    def in_lock_with(self, node: ast.AST) -> bool:
+        """True when ``node`` sits inside a ``with <something lock-ish>:``."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                for item in ancestor.items:
+                    rendered = (dotted_name(item.context_expr) or "").lower()
+                    if any(hint in rendered for hint in _LOCK_HINTS):
+                        return True
+        return False
+
+    # -- imports -------------------------------------------------------------
+    @property
+    def imported_modules(self) -> Set[str]:
+        """Module names bound by plain ``import`` (top of the dotted path)."""
+        if self._imported_modules is None:
+            names: Set[str] = set()
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        names.add(alias.asname or alias.name.split(".")[0])
+            self._imported_modules = names
+        return self._imported_modules
+
+    @property
+    def imported_names(self) -> Dict[str, str]:
+        """``from X import Y [as Z]`` bindings: local name -> ``X.Y``."""
+        if self._imported_names is None:
+            table: Dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.ImportFrom):
+                    module = node.module or ""
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        table[local] = f"{module}.{alias.name}" if module else alias.name
+            self._imported_names = table
+        return self._imported_names
+
+    # -- module-level definitions -------------------------------------------
+    def module_functions(self) -> Dict[str, ast.FunctionDef]:
+        return {
+            node.name: node
+            for node in self.tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+
+    def defined_names(self) -> Set[str]:
+        """Names the module itself defines (functions, classes, assigns)."""
+        names: Set[str] = set()
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        return names
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` chains (calls collapse to their callee's name)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base is not None else node.attr
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func)
+    return None
+
+
+def local_bindings(func: ast.AST) -> Set[str]:
+    """Names bound inside a function: params, assignments, for-targets.
+
+    Used to tell a true module-global read from a shadowed local of the
+    same name.  Nested functions are included deliberately — a name
+    bound anywhere below cannot be assumed to resolve to the module
+    global at the read site without full scope analysis.
+    """
+    bound: Set[str] = set()
+    args = getattr(func, "args", None)
+    if args is not None:
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            bound.add(arg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node is not func:
+                bound.add(node.name)
+        elif isinstance(node, ast.Global):
+            bound.difference_update(node.names)
+    return bound
+
+
+def global_rebinds(func: ast.AST) -> Set[str]:
+    """Names a function declares ``global`` and assigns."""
+    declared: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            declared.update(node.names)
+    if not declared:
+        return set()
+    assigned: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            if node.id in declared:
+                assigned.add(node.id)
+    return assigned
+
+
+def called_function_names(func: ast.AST) -> Set[str]:
+    """Plain-name callees within a function body (same-module reachability)."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            names.add(node.func.id)
+    return names

@@ -1,0 +1,55 @@
+"""Inline suppressions: ``# repro: ignore[RULE-ID]``.
+
+A finding is suppressed when the physical line it is reported on (or
+the line a multi-line statement *starts* on) carries a comment of the
+form::
+
+    proxy[key] = proxy.get(key, 0) + 1  # repro: ignore[PRX001] — guarded upstream
+
+Several rules may be listed, comma-separated; ``ignore[*]`` suppresses
+every rule on that line.  Comments are found with :mod:`tokenize`, so
+``#`` characters inside string literals never parse as suppressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+#: ``frozenset()`` in the table means "every rule" (the ``*`` form).
+_ALL: FrozenSet[str] = frozenset()
+
+_PATTERN = re.compile(r"#\s*repro:\s*ignore\[([^\]]*)\]")
+
+
+def gather(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rules suppressed there (empty set = all)."""
+    table: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.search(token.string)
+            if match is None:
+                continue
+            raw = match.group(1).strip()
+            if raw in ("", "*"):
+                rules = _ALL
+            else:
+                rules = frozenset(
+                    part.strip() for part in raw.split(",") if part.strip()
+                )
+            table[token.start[0]] = rules
+    except tokenize.TokenError:
+        pass  # malformed tail; the parser will report it properly
+    return table
+
+
+def is_suppressed(table: Dict[int, FrozenSet[str]], line: int, rule: str) -> bool:
+    rules = table.get(line)
+    if rules is None:
+        return False
+    return rules is _ALL or not rules or rule in rules

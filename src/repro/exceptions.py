@@ -47,3 +47,12 @@ class ReductionError(ReproError):
 
 class ClassificationError(ReproError):
     """A query class could not be classified (e.g. unbounded arity)."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis pass was misused or could not run.
+
+    Raised by :mod:`repro.analysis` for unknown rule ids, malformed
+    baseline files, and unscannable inputs — never for findings, which
+    are data, not errors.
+    """

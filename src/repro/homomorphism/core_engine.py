@@ -84,7 +84,9 @@ def _positive_atoms(structure: Structure) -> List[Atom]:
 def _atoms_by_element(atoms: List[Atom]) -> Dict[Element, List[Atom]]:
     by_element: Dict[Element, List[Atom]] = {}
     for atom in atoms:
-        for element in set(atom[1]):
+        # Sorted so the mapping's key order never depends on the hash
+        # seed — keeps AC traces comparable across differential runs.
+        for element in stable_sorted(set(atom[1])):
             by_element.setdefault(element, []).append(atom)
     return by_element
 
@@ -339,7 +341,7 @@ def endomorphism_domains(
         atom = queue.popleft()
         queued.discard(atom)
         name, tup = atom
-        variables = list(set(tup))
+        variables = stable_sorted(set(tup))
         supported: Dict[Element, Set[Element]] = {x: set() for x in variables}
         for witness in index.relation(name).tuples:
             seen: Dict[Element, Element] = {}

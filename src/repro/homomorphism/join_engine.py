@@ -166,7 +166,7 @@ def _bag_order(
     remaining = set(bag)
     adjacency: Dict[Element, set] = {v: set() for v in bag}
     for _, tup in atoms:
-        members = [x for x in set(tup) if x in remaining]
+        members = [x for x in stable_sorted(set(tup)) if x in remaining]
         for a in members:
             for b in members:
                 if a != b:

@@ -202,17 +202,21 @@ class SharedStore:
                 return value
             # Claimant vanished: fall through and compute locally.
         self._bump("misses")
+        published = False
         try:
             value = compute()
-        except BaseException:
-            # Release the claim so waiters fail over to computing instead
-            # of stalling until the timeout.
-            with self._lock:
-                if self._data.get(key) == claim:
-                    del self._data[key]
-            raise
-        self._bump("computes")
-        self._publish(key, value)
+            self._bump("computes")
+            self._publish(key, value)
+            published = True
+        finally:
+            # Release the claim on *any* failure between claiming and
+            # publishing — not just compute() raising.  A counter bump or
+            # publish that dies (manager hiccup) must not strand the
+            # claim, or every waiter stalls out its full claim timeout.
+            if not published:
+                with self._lock:
+                    if self._data.get(key) == claim:
+                        del self._data[key]
         self._l1.put(key, value)
         return value
 
@@ -292,26 +296,36 @@ class TelemetrySink:
     form uses a plain list.
     """
 
-    def __init__(self, batches: Any, max_batches: int = 1024) -> None:
+    def __init__(self, batches: Any, lock: Any, max_batches: int = 1024) -> None:
         if max_batches < 1:
             raise ValueError("max_batches must be at least 1")
         self._batches = batches
+        self._lock = lock
         self._max_batches = max_batches
 
     @classmethod
     def local(cls, max_batches: int = 1024) -> "TelemetrySink":
-        return cls([], max_batches)
+        import threading
+
+        return cls([], threading.Lock(), max_batches)
 
     @classmethod
     def managed(cls, manager: Any, max_batches: int = 1024) -> "TelemetrySink":
-        return cls(manager.list(), max_batches)
+        return cls(manager.list(), manager.Lock(), max_batches)
 
     def record(self, samples: list) -> None:
-        """Append one batch of samples, dropping the oldest when full."""
+        """Append one batch of samples, dropping the oldest when full.
+
+        The append and the trim are separate list-proxy operations, so
+        the whole cycle holds the sink lock: two workers trimming on a
+        stale ``len`` otherwise over-pop (dropping batches that never
+        exceeded the bound) or race ``pop(0)`` into an IndexError.
+        """
         if samples:
-            self._batches.append(tuple(samples))
-            while len(self._batches) > self._max_batches:
-                self._batches.pop(0)
+            with self._lock:
+                self._batches.append(tuple(samples))
+                while len(self._batches) > self._max_batches:
+                    self._batches.pop(0)
 
     def drain(self) -> list:
         """Return every sample recorded so far (order of arrival)."""

@@ -6,6 +6,12 @@ foldable families without searching, and (d) produce retraction
 witnesses that really are homomorphisms onto the core.
 """
 
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
 import pytest
 
 from repro.homomorphism import (
@@ -291,3 +297,60 @@ class TestFoldBatching:
         # The per-fold loop rebuilt once per fold (≥ 12 indexes); batching
         # needs one per pass plus the initial build — far fewer.
         assert len(built) <= 7, built
+
+
+class TestHashSeedDeterminism:
+    """The AC / core pipeline must not leak hash order into its output.
+
+    Regression for the unsorted-set-iteration sites in
+    ``endomorphism_domains`` and the join engine: the fixpoint result was
+    masked by uniqueness, but the traversal order (and any future
+    tie-break decision layered on it) varied with ``PYTHONHASHSEED``.
+    Run the same projection under two seeds and demand byte equality.
+    """
+
+    _SCRIPT = textwrap.dedent(
+        """
+        import json, sys
+        from repro.homomorphism import compute_core, endomorphism_domains
+        from repro.structures import Structure, Vocabulary
+
+        vocabulary = Vocabulary({"e": 2, "t": 3})
+        structure = Structure(
+            vocabulary,
+            universe=["a", "b", "c", "d", "e5"],
+            relations={
+                "e": [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d"), ("d", "e5")],
+                "t": [("a", "b", "c"), ("b", "c", "d")],
+            },
+        )
+        domains = endomorphism_domains(structure)
+        projection = {
+            repr(elem): sorted(repr(x) for x in dom)
+            for elem, dom in domains.items()
+        }
+        result = compute_core(structure)
+        payload = {
+            "domains": sorted(projection.items()),
+            "core_size": len(result.core),
+            "core_universe": sorted(repr(x) for x in result.core.universe),
+        }
+        sys.stdout.write(json.dumps(payload, sort_keys=True))
+        """
+    )
+
+    def test_projection_identical_across_hash_seeds(self, tmp_path):
+        script = tmp_path / "probe.py"
+        script.write_text(self._SCRIPT)
+        outputs = []
+        for seed in ("0", "4242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+            proc = subprocess.run(
+                [sys.executable, str(script)],
+                env=env, capture_output=True, text=True, timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]

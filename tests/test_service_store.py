@@ -112,6 +112,64 @@ class TestLocalStore:
     def _boom():
         raise RuntimeError("compute failed")
 
+    def test_publish_failure_releases_claim(self, monkeypatch):
+        # Regression: the claim used to be released only when compute()
+        # raised.  A failure *after* compute — the publish itself dying
+        # on a manager hiccup — left the claim in place, stalling every
+        # waiter for the full claim timeout.
+        store = SharedStore.local()
+
+        def doomed_publish(key, value):
+            raise ConnectionError("manager went away")
+
+        monkeypatch.setattr(store, "_publish", doomed_publish)
+        with pytest.raises(ConnectionError):
+            store.get_or_compute("k", lambda: "v")
+        # No stranded claim: the key is immediately reclaimable.
+        assert "k" not in store._data
+        monkeypatch.undo()
+        assert store.get_or_compute("k", lambda: "ok") == "ok"
+
+    def test_publish_failure_unblocks_waiting_thread_quickly(self):
+        store = SharedStore.local()
+        original_publish = store._publish
+        release = threading.Event()
+
+        def slow_doomed_publish(key, value):
+            release.wait(5.0)
+            raise ConnectionError("manager went away")
+
+        store._publish = slow_doomed_publish
+        owner_error = []
+
+        def owner():
+            try:
+                store.get_or_compute("k", lambda: "v")
+            except ConnectionError:
+                owner_error.append(1)
+
+        owner_thread = threading.Thread(target=owner)
+        owner_thread.start()
+        time.sleep(0.05)  # let the owner claim the key
+        store._publish = original_publish
+        waiter_result = []
+        waiter = threading.Thread(
+            target=lambda: waiter_result.append(
+                store.get_or_compute("k", lambda: "recomputed")
+            )
+        )
+        start = time.monotonic()
+        waiter.start()
+        release.set()
+        owner_thread.join(5.0)
+        waiter.join(5.0)
+        elapsed = time.monotonic() - start
+        assert owner_error == [1]
+        # The waiter recomputes as soon as the claim is released — far
+        # inside the 30 s claim timeout it used to burn entirely.
+        assert waiter_result == ["recomputed"]
+        assert elapsed < 10.0
+
     def test_invalid_capacities_rejected(self):
         with pytest.raises(ValueError):
             SharedStore.local(capacity=0)
@@ -173,6 +231,50 @@ class TestTelemetrySink:
     def test_invalid_bound_rejected(self):
         with pytest.raises(ValueError):
             TelemetrySink.local(max_batches=0)
+
+    def test_record_holds_the_sink_lock_across_append_and_trim(self):
+        # Regression: append + trim used to run without the sink lock, so
+        # two recorders trimming on a stale len() could over-pop or race
+        # pop(0) into an IndexError on the manager proxy.
+        sink = TelemetrySink.local(max_batches=2)
+        acquisitions = []
+        real_lock = sink._lock
+
+        class SpyLock:
+            def __enter__(self):
+                acquisitions.append(1)
+                return real_lock.__enter__()
+
+            def __exit__(self, *exc):
+                return real_lock.__exit__(*exc)
+
+        sink._lock = SpyLock()
+        sink.record([1])
+        assert acquisitions == [1]
+        sink.record([])  # empty batch never touches the lock
+        assert acquisitions == [1]
+
+    def test_concurrent_recorders_never_underflow_the_bound(self):
+        sink = TelemetrySink.local(max_batches=8)
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def recorder(worker):
+            try:
+                barrier.wait()
+                for i in range(50):
+                    sink.record([worker * 1000 + i])
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=recorder, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # Exactly at the bound: no over-popping from stale len() reads.
+        assert len(sink._batches) == 8
 
     def test_service_stores_info_shape(self):
         stores = ServiceStores(
