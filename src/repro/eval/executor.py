@@ -48,6 +48,7 @@ from typing import (
 
 from repro.caching import BoundedLRU
 from repro.classification.classifier import StructureProfile, classify_structure
+from repro.exceptions import DeadlineExceededError
 from repro.classification.solver_dispatch import (
     DEFAULT_PLANNER_CONFIG,
     PlannerConfig,
@@ -67,6 +68,7 @@ from repro.structures.structure import Structure
 from repro.structures.vocabulary import Vocabulary
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard, types only
+    from repro.service.resilience import DeadlineBudget
     from repro.service.store import ServiceStores
 
 DatabaseLike = Union[Database, Structure]
@@ -255,7 +257,9 @@ class _EvaluationContext:
             self.stats[vocabulary] = stats
         return stats
 
-    def profile_for(self, pattern: Structure) -> StructureProfile:
+    def profile_for(
+        self, pattern: Structure, deadline: "Optional[DeadlineBudget]" = None
+    ) -> StructureProfile:
         # ``use_cache=False`` promises batch-scoped profile sharing only,
         # so the service-lifetime stores are bypassed along with the
         # module-level LRU.
@@ -265,7 +269,7 @@ class _EvaluationContext:
             # store's claim protocol makes the compute exactly-once and
             # its counters are what the service stats endpoint reports.
             return self.stores.profiles.get_or_compute(
-                pattern, lambda: classify_structure(pattern)
+                pattern, lambda: classify_structure(pattern), deadline=deadline
             )
         if self.use_cache:
             # The bounded cross-call LRU owned by repro.cq.evaluation;
@@ -315,7 +319,11 @@ class _EvaluationContext:
             return plan_query_cached(profile, stats, self.config).cost
         return conservative_cost_estimate(len(pattern), stats, self.config)
 
-    def solve(self, query: ConjunctiveQuery) -> AnySolveResult:
+    def solve(
+        self,
+        query: ConjunctiveQuery,
+        deadline: "Optional[DeadlineBudget]" = None,
+    ) -> AnySolveResult:
         pattern = query.canonical_structure()
         vocabulary = query.vocabulary()
         key = (pattern, vocabulary)
@@ -338,7 +346,7 @@ class _EvaluationContext:
                 self.solved.put(key, shared)
                 return shared
         target = self.target_for(vocabulary)
-        profile = self.profile_for(pattern)
+        profile = self.profile_for(pattern, deadline)
         telemetry = self.stores.telemetry if self.stores is not None else None
         stats = (
             self.stats_for(vocabulary)
@@ -387,19 +395,32 @@ def _initialize_worker(
     _WORKER_CONTEXT = _EvaluationContext(database, config, use_cache, slim, stores)
 
 
-def _evaluate_chunk(queries: Tuple[ConjunctiveQuery, ...]) -> List[AnySolveResult]:
+def _evaluate_chunk(
+    queries: Tuple[ConjunctiveQuery, ...],
+    deadline: "Optional[DeadlineBudget]" = None,
+) -> List[AnySolveResult]:
     """The picklable work unit: evaluate one chunk in the worker's context.
 
     With ``slim_results`` configured the worker projects each result
     before it crosses the process boundary, so the parent never pays for
     unpickling profiles it does not want.  Telemetry buffered during the
     chunk is flushed to the shared sink before the results ship.
+
+    ``deadline`` is the batch's shared budget (``time.monotonic`` is
+    system-wide on Linux, so the pickled expiry means the same instant
+    here as in the parent): the worker checks it between queries and
+    threads it into store waits, so one budget bounds the whole nested
+    stack instead of per-layer timeouts compounding.
     """
     if _WORKER_CONTEXT is None:  # pragma: no cover — initializer always ran
         raise RuntimeError("worker used before initialisation")
     _WORKER_CONTEXT.maybe_sync_planner()
     _WORKER_CONTEXT.beat("chunk-start")
-    results = [_WORKER_CONTEXT.solve(query) for query in queries]
+    results = []
+    for query in queries:
+        if deadline is not None:
+            deadline.check("worker chunk query")
+        results.append(_WORKER_CONTEXT.solve(query, deadline))
     _WORKER_CONTEXT.flush_telemetry()
     _WORKER_CONTEXT.beat("chunk-done")
     return results
@@ -510,6 +531,33 @@ class EvalService:
             self._stores.control["planner"] = (self._planner_version, planner)
         return self._planner_version
 
+    def republish_planner(self) -> None:
+        """Re-seed the control slot with the current ``(version, config)``.
+
+        The failover path: a replacement manager starts with an empty
+        control dict, and workers spawned against it must still see the
+        planner hot-swapped before the old manager died.  One atomic
+        proxy assignment, same idiom as :meth:`update_planner` — but no
+        version bump, since nothing changed.
+        """
+        if (
+            self._planner_version > 0
+            and self._stores is not None
+            and self._stores.control is not None
+        ):
+            self._stores.control["planner"] = (self._planner_version, self._planner)
+
+    def restart_pool(self) -> None:
+        """Terminate the worker pool; the next batch lazily builds a new one.
+
+        After a store failover the live workers hold pickled proxies
+        into the *dead* manager — their breakers would keep them in
+        degraded local mode forever.  Tearing the pool down (terminate,
+        not join: workers may be blocked on the dead manager) makes the
+        next ``_ensure_pool`` ship the replacement proxies.
+        """
+        self._abandon_pool()
+
     # -- introspection ------------------------------------------------------
     @property
     def planner(self) -> PlannerConfig:
@@ -553,12 +601,16 @@ class EvalService:
         queries: Sequence[ConjunctiveQuery],
         use_cache: bool = True,
         mode: Optional[str] = None,
+        deadline: "Optional[DeadlineBudget]" = None,
     ) -> List[Tuple[ConjunctiveQuery, AnySolveResult]]:
         """Evaluate a whole batch; the materialised form of the stream.
 
         Small batches (shorter than the executor's ``min_parallel_batch``)
         take the in-process path even when workers are configured.
         ``mode`` forces a path (see :meth:`evaluate_stream`).
+        ``deadline`` bounds the whole call with one composed budget;
+        exhausting it raises
+        :class:`~repro.exceptions.DeadlineExceededError`.
         """
         workers = self._executor.effective_workers()
         if (
@@ -567,14 +619,19 @@ class EvalService:
             and len(queries) < self._executor.min_parallel_batch
         ):
             self._record_mode("sequential", "batch below min_parallel_batch")
-            return list(self._evaluate_sequential(queries, use_cache))
-        return list(self.evaluate_stream(queries, use_cache=use_cache, mode=mode))
+            return list(self._evaluate_sequential(queries, use_cache, deadline))
+        return list(
+            self.evaluate_stream(
+                queries, use_cache=use_cache, mode=mode, deadline=deadline
+            )
+        )
 
     def evaluate_stream(
         self,
         queries: Iterable[ConjunctiveQuery],
         use_cache: bool = True,
         mode: Optional[str] = None,
+        deadline: "Optional[DeadlineBudget]" = None,
     ) -> Iterator[Tuple[ConjunctiveQuery, AnySolveResult]]:
         """Yield ``(query, SolveResult)`` pairs in input order.
 
@@ -599,19 +656,19 @@ class EvalService:
             raise ValueError(f"unknown forced mode {mode!r}")
         if self._executor.effective_workers() <= 1:
             self._record_mode("sequential", "workers <= 1")
-            yield from self._evaluate_sequential(queries, use_cache)
+            yield from self._evaluate_sequential(queries, use_cache, deadline)
             return
         if mode == "sequential":
             self._record_mode("sequential", "forced by caller")
-            yield from self._evaluate_sequential(queries, use_cache)
+            yield from self._evaluate_sequential(queries, use_cache, deadline)
             return
         if mode == "parallel":
             self._record_mode("parallel", "forced by caller")
-            yield from self._evaluate_parallel(queries, use_cache)
+            yield from self._evaluate_parallel(queries, use_cache, deadline)
             return
         if not self._executor.adaptive:
             self._record_mode("parallel", "adaptive cutover disabled")
-            yield from self._evaluate_parallel(queries, use_cache)
+            yield from self._evaluate_parallel(queries, use_cache, deadline)
             return
         query_iterator = iter(queries)
         head = list(islice(query_iterator, self._executor.adaptive_sample))
@@ -622,10 +679,10 @@ class EvalService:
         cutover_reason = self._adaptive_cutover_reason(head, use_cache)
         if cutover_reason is not None:
             self._record_mode("sequential", cutover_reason)
-            yield from self._evaluate_sequential(rest, use_cache)
+            yield from self._evaluate_sequential(rest, use_cache, deadline)
             return
         self._record_mode("parallel", "chunk cost above spawn threshold")
-        yield from self._evaluate_parallel(rest, use_cache)
+        yield from self._evaluate_parallel(rest, use_cache, deadline)
 
     def _record_mode(self, mode: str, reason: str) -> None:
         self.last_mode = mode
@@ -659,7 +716,10 @@ class EvalService:
 
     # -- the two paths ------------------------------------------------------
     def _evaluate_sequential(
-        self, queries: Iterable[ConjunctiveQuery], use_cache: bool
+        self,
+        queries: Iterable[ConjunctiveQuery],
+        use_cache: bool,
+        deadline: "Optional[DeadlineBudget]" = None,
     ) -> Iterator[Tuple[ConjunctiveQuery, AnySolveResult]]:
         # With the cross-call cache enabled the service context persists
         # across batches, exactly like a worker process does: targets,
@@ -682,7 +742,9 @@ class EvalService:
             )
         try:
             for query in queries:
-                yield query, context.solve(query)
+                if deadline is not None:
+                    deadline.check("sequential batch query")
+                yield query, context.solve(query, deadline)
         finally:
             context.flush_telemetry()
 
@@ -700,7 +762,10 @@ class EvalService:
         return context
 
     def _evaluate_parallel(
-        self, queries: Iterable[ConjunctiveQuery], use_cache: bool
+        self,
+        queries: Iterable[ConjunctiveQuery],
+        use_cache: bool,
+        budget: "Optional[DeadlineBudget]" = None,
     ) -> Iterator[Tuple[ConjunctiveQuery, AnySolveResult]]:
         pool = self._ensure_pool(use_cache)
         window = self._executor.effective_workers() * self._executor.inflight_factor
@@ -721,18 +786,39 @@ class EvalService:
                     break
                 submitted[next_submit] = chunk
                 submit_times[next_submit] = time.monotonic()
-                pending[next_submit] = pool.submit(_evaluate_chunk, chunk)
+                pending[next_submit] = pool.submit(_evaluate_chunk, chunk, budget)
                 next_submit += 1
             if next_yield not in pending:
                 break
             future = pending[next_yield]
             try:
-                if deadline is None:
+                # The parent-side wait composes both clocks: the
+                # per-chunk wedge deadline (relative to submission) and
+                # the batch budget (absolute) — whichever bites first.
+                remaining: Optional[float] = None
+                if deadline is not None:
+                    remaining = submit_times[next_yield] + deadline - time.monotonic()
+                if budget is not None:
+                    remaining = budget.clamp(remaining)
+                if remaining is None:
                     results = future.result()
                 else:
-                    remaining = submit_times[next_yield] + deadline - time.monotonic()
                     results = future.result(timeout=max(remaining, 0.0))
+            except DeadlineExceededError:
+                # A worker's budget check fired mid-chunk.  Every other
+                # in-flight chunk shares the same expired budget, so
+                # there is nothing worth recycling for.
+                self._abandon_pool()
+                raise
             except FuturesTimeoutError:
+                if budget is not None and budget.expired:
+                    # The *batch budget* ran out (as opposed to one
+                    # wedged chunk): surface it as the composed-timeout
+                    # error, not as a recycle storm.
+                    self._abandon_pool()
+                    raise DeadlineExceededError(
+                        f"batch deadline exhausted waiting on chunk {next_yield}"
+                    )
                 # The chunk blew its deadline: the worker holding it is
                 # wedged (stuck syscall, runaway solve).  Recycle the
                 # pool and re-dispatch everything unfinished.
@@ -747,7 +833,8 @@ class EvalService:
                         f"(chunk deadline {deadline}s)"
                     )
                 pool = self._recycle_pool(
-                    use_cache, pending, submitted, submit_times, "chunk-deadline"
+                    use_cache, pending, submitted, submit_times, "chunk-deadline",
+                    budget,
                 )
                 continue
             except BrokenProcessPool:
@@ -758,7 +845,8 @@ class EvalService:
                     self._abandon_pool()
                     raise
                 pool = self._recycle_pool(
-                    use_cache, pending, submitted, submit_times, "broken-pool"
+                    use_cache, pending, submitted, submit_times, "broken-pool",
+                    budget,
                 )
                 continue
             pending.pop(next_yield)
@@ -774,6 +862,7 @@ class EvalService:
         submitted: Dict[int, Tuple[ConjunctiveQuery, ...]],
         submit_times: Dict[int, float],
         reason: str,
+        budget: "Optional[DeadlineBudget]" = None,
     ) -> ProcessPoolExecutor:
         """Replace a wedged/broken pool, re-dispatching unfinished chunks.
 
@@ -797,7 +886,7 @@ class EvalService:
             if future.done() and not future.cancelled() and future.exception() is None:
                 continue  # a finished result survives the recycle
             future.cancel()
-            pending[index] = pool.submit(_evaluate_chunk, submitted[index])
+            pending[index] = pool.submit(_evaluate_chunk, submitted[index], budget)
             submit_times[index] = time.monotonic()
             redispatched += 1
         terminated = self._terminate_pool(old)

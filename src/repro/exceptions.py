@@ -49,6 +49,28 @@ class ClassificationError(ReproError):
     """A query class could not be classified (e.g. unbounded arity)."""
 
 
+class StoreUnavailableError(ReproError):
+    """A shared-store operation could not reach its manager backend.
+
+    Raised by the resilience layer (:mod:`repro.service.resilience`)
+    when a manager-proxy operation keeps failing after bounded retries,
+    or fast-fails because the store's circuit breaker is open.  Callers
+    inside the store degrade to L1-only local mode instead of letting
+    this escape; it surfaces only from operations with no local
+    fallback.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """A deadline budget expired before the operation completed.
+
+    Raised by :class:`repro.service.resilience.DeadlineBudget` checks
+    threaded through ``QueryService`` batches, executor chunks and
+    shared-store waits, so nested timeouts compose against one budget
+    instead of stacking.
+    """
+
+
 class AnalysisError(ReproError):
     """The static-analysis pass was misused or could not run.
 

@@ -28,6 +28,11 @@ parallel once per lifetime instead of once per call.
 * :mod:`repro.service.monitor` — :class:`ServiceMonitor`: worker
   heartbeats, wedge detection via chunk deadlines, and the recycle /
   re-dispatch event record.
+* :mod:`repro.service.resilience` — the fault layer every proxy
+  operation routes through: :class:`FaultPolicy` (bounded jittered
+  retries with per-operation timeouts), :class:`CircuitBreaker`
+  (closed → open → half-open), and :class:`DeadlineBudget` (a
+  monotonic per-batch deadline that composes through nested waits).
 
 Quickstart::
 
@@ -55,6 +60,12 @@ from repro.service.metrics import (
     register_store_metrics,
 )
 from repro.service.monitor import ServiceMonitor, WorkerHealth
+from repro.service.resilience import (
+    DEFAULT_FAULT_POLICY,
+    CircuitBreaker,
+    DeadlineBudget,
+    FaultPolicy,
+)
 from repro.service.store import (
     ServiceStores,
     SharedStore,
@@ -104,4 +115,8 @@ __all__ = [
     "register_store_metrics",
     "ServiceMonitor",
     "WorkerHealth",
+    "FaultPolicy",
+    "CircuitBreaker",
+    "DeadlineBudget",
+    "DEFAULT_FAULT_POLICY",
 ]

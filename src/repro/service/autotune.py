@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.classification.degrees import ComplexityDegree
+from repro.exceptions import DeadlineExceededError, StoreUnavailableError
 from repro.classification.solver_dispatch import solve_with_degree
 from repro.eval.planner import COST_CAP, route_weights
 from repro.service.telemetry import (
@@ -343,7 +344,19 @@ class AutoTuner:
 
     # -- the recalibration pass ----------------------------------------------
     def recalibrate(self, reason: str = "manual") -> Dict[str, Any]:
-        """Probe, re-fit, guard, and (maybe) hot-swap.  Returns the event."""
+        """Probe, re-fit, guard, and (maybe) hot-swap.  Returns the event.
+
+        A store outage mid-pass (telemetry drain or probe solves hitting
+        an open breaker / dead manager) degrades to a recorded
+        ``store-unavailable`` event instead of crashing the serving
+        thread — the next trigger retries after failover.
+        """
+        try:
+            return self._recalibrate(reason)
+        except (StoreUnavailableError, DeadlineExceededError) as error:
+            return self._finish(reason, "store-unavailable", error=str(error))
+
+    def _recalibrate(self, reason: str) -> Dict[str, Any]:
         service = self._service
         self._solves_since_recalibration = 0
         self._cooldown_remaining = self.config.cooldown_solves

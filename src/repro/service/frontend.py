@@ -42,9 +42,11 @@ from repro.classification.solver_dispatch import DEFAULT_PLANNER_CONFIG, Planner
 from repro.cq.database import Database
 from repro.cq.query import ConjunctiveQuery
 from repro.eval.executor import AnySolveResult, EvalService, ExecutorConfig
+from repro.exceptions import DeadlineExceededError
 from repro.service.autotune import AutoTuneConfig, AutoTuner
 from repro.service.metrics import MetricsRegistry, register_store_metrics
 from repro.service.monitor import ServiceMonitor
+from repro.service.resilience import DeadlineBudget
 from repro.service.store import ServiceStores, StoreManager
 from repro.service.telemetry import (
     DEFAULT_SPAWN_OVERHEAD_SECONDS,
@@ -251,6 +253,14 @@ class QueryService:
         A :class:`~repro.service.metrics.MetricsRegistry` to register
         into (one is created per service by default — pass a shared
         one to aggregate several services into one scrape).
+    batch_deadline_seconds:
+        Arms the per-batch deadline budget: each batch gets one
+        :class:`~repro.service.resilience.DeadlineBudget` threaded
+        through the executor's chunks and the stores' claim waits, so
+        every nested timeout composes against the same bound.  A blown
+        budget raises :class:`~repro.exceptions.DeadlineExceededError`
+        (counted in ``deadline_exceeded_total``).  ``None`` (default)
+        keeps batches unbounded.
     """
 
     def __init__(
@@ -269,9 +279,12 @@ class QueryService:
         calibration: Optional[Union[CalibrationState, str]] = None,
         autotune: Union[None, bool, AutoTuneConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        batch_deadline_seconds: Optional[float] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if batch_deadline_seconds is not None and batch_deadline_seconds <= 0:
+            raise ValueError("batch_deadline_seconds must be positive")
         executor = executor if executor is not None else ExecutorConfig()
         # The front-end owns the serial/parallel decision; the executor
         # must not second-guess it per call.
@@ -315,6 +328,7 @@ class QueryService:
             drift_factor=drift_factor,
         )
         self._batch_size = batch_size
+        self._batch_deadline_seconds = batch_deadline_seconds
         self._pending: List[ConjunctiveQuery] = []
         self._mode_history: List[Dict[str, Any]] = []
         self._queries_served = 0
@@ -350,6 +364,9 @@ class QueryService:
         )
         self._swap_counter = self.metrics.counter(
             "planner_hot_swaps_total", "Planner configs hot-swapped into the service"
+        )
+        self._deadline_counter = self.metrics.counter(
+            "deadline_exceeded_total", "Batches that blew their deadline budget"
         )
         self.metrics.gauge(
             "queue_depth", "Queries submitted but not yet flushed"
@@ -426,15 +443,44 @@ class QueryService:
         self._pending.extend(queries)
         return self.flush(mode)
 
+    def check_store_health(self) -> bool:
+        """Probe the manager process; fail over if it died.  True = failed over.
+
+        Runs at every batch boundary (cheap: one ``is_alive`` on a
+        child process).  On failover the supervisor re-points the store
+        bundle in place, the executor republishes the planner control
+        slot into the fresh manager and tears down the worker pool (its
+        workers hold proxies into the corpse), and the monitor is
+        re-attached to the new heartbeat board.
+        """
+        if self._store_manager.manager_alive():
+            return False
+        generation = self._store_manager.failover()
+        self._eval.republish_planner()
+        self._eval.restart_pool()
+        self.monitor.attach_heartbeats(self._store_manager.stores.heartbeats)
+        self.monitor.observe_failover(generation)
+        return True
+
     def _run_batch(
         self, batch: List[ConjunctiveQuery], forced_mode: Optional[str]
     ) -> List[Tuple[ConjunctiveQuery, AnySolveResult]]:
+        self.check_store_health()
         if forced_mode is None:
             mode, reason = self.controller.decide(len(batch))
         else:
             mode, reason = forced_mode, "forced by caller"
+        budget = (
+            None
+            if self._batch_deadline_seconds is None
+            else DeadlineBudget(self._batch_deadline_seconds)
+        )
         start = time.perf_counter()
-        results = self._eval.evaluate(batch, mode=mode)
+        try:
+            results = self._eval.evaluate(batch, mode=mode, deadline=budget)
+        except DeadlineExceededError:
+            self._deadline_counter.inc()
+            raise
         elapsed = time.perf_counter() - start
         # The executor may have degraded a forced/decided "parallel" to
         # sequential (single worker); trust what actually ran.

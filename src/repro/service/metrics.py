@@ -83,7 +83,22 @@ def _render_labels(labelnames: Sequence[str], values: LabelValues) -> str:
 
 
 def _escape(value: str) -> str:
+    """Escape a label value for the text exposition format.
+
+    The backslash must go first — escaping it after the quote/newline
+    passes would double-escape the backslashes those introduce.
+    """
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP-line documentation.
+
+    Per the exposition format, HELP text escapes backslash and newline
+    only (a double quote is legal there) — an embedded newline would
+    otherwise split the comment into a junk line that breaks scrapers.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 class _Metric:
@@ -136,7 +151,7 @@ class Counter(_Metric):
 
     def render(self) -> List[str]:
         lines = [
-            f"# HELP {self.name} {self.documentation}",
+            f"# HELP {self.name} {_escape_help(self.documentation)}",
             f"# TYPE {self.name} {self.kind}",
         ]
         with self._lock:
@@ -207,7 +222,7 @@ class Gauge(_Metric):
 
     def render(self) -> List[str]:
         lines = [
-            f"# HELP {self.name} {self.documentation}",
+            f"# HELP {self.name} {_escape_help(self.documentation)}",
             f"# TYPE {self.name} {self.kind}",
         ]
         for key, value in self._snapshot():
@@ -266,7 +281,7 @@ class Histogram(_Metric):
 
     def render(self) -> List[str]:
         lines = [
-            f"# HELP {self.name} {self.documentation}",
+            f"# HELP {self.name} {_escape_help(self.documentation)}",
             f"# TYPE {self.name} {self.kind}",
         ]
         with self._lock:
@@ -398,6 +413,16 @@ def register_store_metrics(registry: MetricsRegistry, stores: Any) -> None:
         "Per-process L1 cache counters in the registering process",
         labelnames=("store", "counter"),
     )
+    breaker_gauge = registry.gauge(
+        "store_breaker_state",
+        "Per-store circuit-breaker state (0=closed, 1=half-open, 2=open)",
+        labelnames=("store",),
+    )
+    resilience_gauge = registry.gauge(
+        "store_resilience_counter",
+        "Per-store fault-policy counters (retries/degraded/reconciled/...)",
+        labelnames=("store", "counter"),
+    )
 
     def _bind(store: Any, store_name: str) -> None:
         for counter in ("hits", "misses", "computes", "evictions", "waits", "size"):
@@ -412,6 +437,26 @@ def register_store_metrics(registry: MetricsRegistry, stores: Any) -> None:
             l1_gauge.set_function(
                 lambda store=store, counter=counter: float(
                     (store.info().get("l1") or {}).get(counter, 0)
+                ),
+                store=store_name,
+                counter=counter,
+            )
+        breaker_gauge.set_function(
+            lambda store=store: store.breaker.state_code(),
+            store=store_name,
+        )
+        for counter in (
+            "retries",
+            "degraded_computes",
+            "reconciled",
+            "reconcile_overflow",
+            "pending_reconcile",
+            "dropped_counter_updates",
+            "dropped_claim_releases",
+        ):
+            resilience_gauge.set_function(
+                lambda store=store, counter=counter: float(
+                    store.resilience_info().get(counter, 0)
                 ),
                 store=store_name,
                 counter=counter,

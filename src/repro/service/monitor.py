@@ -32,6 +32,9 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.exceptions import StoreUnavailableError
+from repro.service.resilience import DEFAULT_FAULT_POLICY
+
 __all__ = ["WorkerHealth", "ServiceMonitor", "beat"]
 
 
@@ -84,11 +87,13 @@ class ServiceMonitor:
         self._heartbeats = heartbeats
         self.deadline_seconds = deadline_seconds
         self.recycle_events: List[Dict[str, Any]] = []
+        self.failover_events: List[Dict[str, Any]] = []
         self.redispatched_chunks = 0
         self.deadline_expiries = 0
         self._recycle_counter = None
         self._redispatch_counter = None
         self._expiry_counter = None
+        self._failover_counter = None
         if metrics is not None:
             self._recycle_counter = metrics.counter(
                 "recycles_total",
@@ -102,6 +107,10 @@ class ServiceMonitor:
             self._expiry_counter = metrics.counter(
                 "worker_deadline_expiries_total",
                 "Chunk deadlines that expired while waiting on a worker",
+            )
+            self._failover_counter = metrics.counter(
+                "store_failovers_total",
+                "Manager processes replaced by the store supervisor",
             )
 
     # -- events reported by the executor ------------------------------------
@@ -126,16 +135,42 @@ class ServiceMonitor:
         if self._expiry_counter is not None:
             self._expiry_counter.inc()
 
+    def observe_failover(self, generation: int) -> None:
+        """Record that the store supervisor replaced a dead manager."""
+        self.failover_events.append({"generation": generation, "at": time.time()})
+        if self._failover_counter is not None:
+            self._failover_counter.inc()
+
+    def attach_heartbeats(self, board: Any) -> None:
+        """Re-point heartbeat grading at a replacement board (post-failover)."""
+        self._heartbeats = board
+
     @property
     def recycles(self) -> int:
         return len(self.recycle_events)
 
+    @property
+    def failovers(self) -> int:
+        return len(self.failover_events)
+
     # -- heartbeat grading ---------------------------------------------------
     def board_snapshot(self) -> Dict[int, Any]:
-        """A plain-dict copy of the heartbeat board (empty when absent)."""
+        """A plain-dict copy of the heartbeat board.
+
+        Empty when no board is attached *or* the board's manager is
+        unreachable — health grading silently pauses during an outage
+        (no workers can beat either) and resumes after failover.
+        """
         if self._heartbeats is None:
             return {}
-        return dict(self._heartbeats)
+
+        def _snapshot_raw() -> Dict[int, Any]:
+            return dict(self._heartbeats)
+
+        try:
+            return DEFAULT_FAULT_POLICY.run(_snapshot_raw, op_name="heartbeat-board")
+        except StoreUnavailableError:
+            return {}
 
     def worker_health(self, now: Optional[float] = None) -> List[WorkerHealth]:
         """Grade every worker that ever stamped the board.
@@ -169,11 +204,18 @@ class ServiceMonitor:
 
     def forget_worker(self, worker_id: int) -> None:
         """Drop a (terminated) worker's board entry so it stops grading."""
-        if self._heartbeats is not None:
-            try:
-                del self._heartbeats[worker_id]
-            except KeyError:
-                pass
+        if self._heartbeats is None:
+            return
+
+        def _forget_raw() -> None:
+            self._heartbeats.pop(worker_id, None)
+
+        try:
+            DEFAULT_FAULT_POLICY.run(_forget_raw, op_name="heartbeat-forget")
+        except StoreUnavailableError:
+            # The board died with its manager; the failover path swaps
+            # in a fresh (empty) one, which forgets everyone anyway.
+            pass
 
     # -- the stats projection ------------------------------------------------
     def info(self) -> Dict[str, Any]:
@@ -181,6 +223,8 @@ class ServiceMonitor:
         return {
             "recycles": self.recycles,
             "recycle_events": [dict(event) for event in self.recycle_events],
+            "failovers": self.failovers,
+            "failover_events": [dict(event) for event in self.failover_events],
             "redispatched_chunks": self.redispatched_chunks,
             "deadline_expiries": self.deadline_expiries,
             "deadline_seconds": self.deadline_seconds,

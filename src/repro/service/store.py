@@ -28,10 +28,26 @@ level:
   through pool initialisation, plus :class:`StoreManager`, the owner of
   the manager process's lifetime.
 
+Every shared-level operation is executed through the resilience layer
+(:mod:`repro.service.resilience`): bounded retries with jittered
+backoff, a per-process circuit breaker per store, and — when the
+breaker opens because the manager is unreachable — **degraded local
+mode**: ``get_or_compute`` keeps answering byte-identically by
+computing into the L1 (re-computing instead of sharing, counted in
+``resilience.degraded_computes``), remembers what it computed, and
+reconciles those entries back to the shared level once the breaker
+closes again (manager recovered, or :meth:`StoreManager.failover`
+installed a replacement and :meth:`SharedStore.rebind` re-pointed the
+backings).  Raw proxy access is quarantined in ``*_raw`` closures run
+through :meth:`SharedStore._guard` — the convention the ``API004``
+analysis rule enforces across ``service/``.
+
 Pickling a :class:`SharedStore` (to ship it to a pool worker) carries
-the shared-level proxies but **not** the L1 — every process starts with
-a cold private L1 over the same warm shared level, which is exactly the
-fork-vs-spawn-agnostic behaviour the concurrency tests pin down.
+the shared-level proxies but **not** the L1, breaker, or degraded-mode
+state — every process starts with a cold private L1 (and its own view
+of the manager's health) over the same warm shared level, which is
+exactly the fork-vs-spawn-agnostic behaviour the concurrency tests pin
+down.
 """
 
 from __future__ import annotations
@@ -43,12 +59,49 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from repro.caching import BoundedLRU
+from repro.exceptions import StoreUnavailableError
+from repro.service.resilience import (
+    BREAKER_CLOSED,
+    DEFAULT_FAULT_POLICY,
+    CircuitBreaker,
+    DeadlineBudget,
+    FaultPolicy,
+    process_rng,
+)
 
 #: First component of a claim marker.  Claim markers are tuples so they
 #: can never collide with stored values, which are wrapped in a
 #: ``(_VALUE_TAG, value)`` envelope of their own.
 _CLAIM_TAG = "__repro_claim__"
 _VALUE_TAG = "__repro_value__"
+
+#: Ceiling of the growing claim-wait poll interval: late in a long wait
+#: each waiter polls at most every ~50 ms instead of every 2 ms.
+_MAX_CLAIM_POLL_SECONDS = 0.05
+
+#: How fast the claim-wait poll interval grows per round.
+_CLAIM_POLL_GROWTH = 1.7
+
+#: Bound of the per-process reconcile queue: keys computed during a
+#: degraded window, waiting to be republished to the shared level.
+_RECONCILE_CAPACITY = 1024
+
+
+def _counter_seed() -> Dict[str, int]:
+    """The shared counter block every store backing starts from."""
+    return {"hits": 0, "misses": 0, "computes": 0, "evictions": 0, "waits": 0}
+
+
+def _fallback_seed() -> Dict[str, int]:
+    """The process-local resilience counter block (see ``info()``)."""
+    return {
+        "retries": 0,
+        "degraded_computes": 0,
+        "reconciled": 0,
+        "reconcile_overflow": 0,
+        "dropped_counter_updates": 0,
+        "dropped_claim_releases": 0,
+    }
 
 
 class SharedStore:
@@ -74,7 +127,18 @@ class SharedStore:
         are the only paths on which a key can be computed twice —
         eviction never touches in-flight claims.
     poll_interval:
-        Sleep between polls while waiting on another process's claim.
+        Initial sleep between polls while waiting on another process's
+        claim; each waiter's interval grows and is jittered per process
+        (:func:`~repro.service.resilience.process_rng`), so a crowd of
+        waiters never thunders in lock-step.
+    policy:
+        The :class:`~repro.service.resilience.FaultPolicy` every shared
+        -level operation runs under.  ``None`` disables the resilience
+        wrapping entirely (raw proxy semantics — what the overhead
+        benchmark's "unwrapped" arm measures).
+    breaker_failures, breaker_reset_seconds:
+        Circuit-breaker tuning: consecutive transient failures that
+        open it, and how long it stays open before admitting a probe.
     """
 
     def __init__(
@@ -86,6 +150,9 @@ class SharedStore:
         l1_capacity: int = 1024,
         claim_timeout: float = 30.0,
         poll_interval: float = 0.002,
+        policy: Optional[FaultPolicy] = DEFAULT_FAULT_POLICY,
+        breaker_failures: int = 3,
+        breaker_reset_seconds: float = 0.25,
     ) -> None:
         if capacity < 1 or l1_capacity < 1:
             raise ValueError("store capacities must be at least 1")
@@ -96,12 +163,26 @@ class SharedStore:
         self._l1_capacity = l1_capacity
         self._claim_timeout = claim_timeout
         self._poll_interval = poll_interval
+        self._policy = policy
+        self._breaker_failures = breaker_failures
+        self._breaker_reset_seconds = breaker_reset_seconds
         self._l1: "BoundedLRU[Any, Any]" = BoundedLRU(l1_capacity)
         self._claim_sequence = itertools.count()
+        self._breaker = CircuitBreaker(
+            failure_threshold=breaker_failures,
+            reset_timeout_seconds=breaker_reset_seconds,
+        )
+        self._fallbacks: Dict[str, int] = _fallback_seed()
+        self._pending_reconcile: Dict[Any, Any] = {}
 
     # -- construction -------------------------------------------------------
     @classmethod
-    def local(cls, capacity: int = 4096, l1_capacity: int = 1024) -> "SharedStore":
+    def local(
+        cls,
+        capacity: int = 4096,
+        l1_capacity: int = 1024,
+        policy: Optional[FaultPolicy] = DEFAULT_FAULT_POLICY,
+    ) -> "SharedStore":
         """An in-process store: plain dicts, a threading lock, no IPC.
 
         Semantically identical to the manager-backed form (including the
@@ -114,9 +195,10 @@ class SharedStore:
         return cls(
             data={},
             lock=threading.Lock(),
-            counters={"hits": 0, "misses": 0, "computes": 0, "evictions": 0, "waits": 0},
+            counters=_counter_seed(),
             capacity=capacity,
             l1_capacity=l1_capacity,
+            policy=policy,
         )
 
     @classmethod
@@ -126,30 +208,39 @@ class SharedStore:
         capacity: int = 4096,
         l1_capacity: int = 1024,
         claim_timeout: float = 30.0,
+        policy: Optional[FaultPolicy] = DEFAULT_FAULT_POLICY,
     ) -> "SharedStore":
         """A cross-process store backed by an already-running manager."""
         return cls(
             data=manager.dict(),
             lock=manager.Lock(),
-            counters=manager.dict(
-                {"hits": 0, "misses": 0, "computes": 0, "evictions": 0, "waits": 0}
-            ),
+            counters=manager.dict(_counter_seed()),
             capacity=capacity,
             l1_capacity=l1_capacity,
             claim_timeout=claim_timeout,
+            policy=policy,
         )
 
-    # -- pickling: ship the shared level, drop the private L1 ---------------
+    # -- pickling: ship the shared level, drop the process-local state ------
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         del state["_l1"]
         del state["_claim_sequence"]
+        del state["_breaker"]
+        del state["_fallbacks"]
+        del state["_pending_reconcile"]
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._l1 = BoundedLRU(self._l1_capacity)
         self._claim_sequence = itertools.count()
+        self._breaker = CircuitBreaker(
+            failure_threshold=self._breaker_failures,
+            reset_timeout_seconds=self._breaker_reset_seconds,
+        )
+        self._fallbacks = _fallback_seed()
+        self._pending_reconcile = {}
 
     def _new_claim(self) -> tuple:
         """A claim marker unique to this call.
@@ -164,13 +255,74 @@ class SharedStore:
         """
         return (_CLAIM_TAG, os.getpid(), id(self), next(self._claim_sequence))
 
+    # -- the resilience wrapper ---------------------------------------------
+    def _guard(
+        self,
+        op_name: str,
+        operation: Callable[[], Any],
+        deadline: Optional[DeadlineBudget] = None,
+    ) -> Any:
+        """Run one shared-level operation under the store's fault policy.
+
+        Every raw proxy touch in this class goes through here (or is a
+        single subscript assignment the PRX rules own): retries with
+        jittered backoff on transient errors, reports outcomes to the
+        per-process breaker, fast-fails with
+        :class:`StoreUnavailableError` while the breaker is open.  With
+        ``policy=None`` this is a transparent passthrough.
+        """
+        if self._policy is None:
+            return operation()
+        return self._policy.run(
+            operation,
+            op_name=op_name,
+            breaker=self._breaker,
+            deadline=deadline,
+            on_retry=self._note_retry,
+        )
+
+    def _note_retry(self) -> None:
+        self._fallbacks["retries"] += 1
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """This process's circuit breaker for the store's shared level."""
+        return self._breaker
+
+    def rebind(self, data: Any, lock: Any, counters: Any) -> None:
+        """Point this store at replacement backings (post-failover).
+
+        The L1 and the pending-reconcile queue survive — the fresh
+        shared level is empty (cache semantics, safe to lose), and
+        everything this process computed locally flows back into it on
+        the next :meth:`get_or_compute`.  The breaker force-closes: the
+        new backend is presumed healthy until it proves otherwise.
+        """
+        self._data = data
+        self._lock = lock
+        self._counters = counters
+        self._breaker.reset()
+
     # -- counters -----------------------------------------------------------
     def _bump(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
+        def _bump_raw() -> None:
+            with self._lock:
+                self._counters[name] = self._counters.get(name, 0) + amount
+
+        try:
+            self._guard("counter-update", _bump_raw)
+        except StoreUnavailableError:
+            # Counters are observability, not correctness: never let a
+            # dead manager turn a bookkeeping bump into a failed solve.
+            self._fallbacks["dropped_counter_updates"] += 1
 
     # -- the store protocol -------------------------------------------------
-    def get_or_compute(self, key: Any, compute: Callable[[], Any]) -> Any:
+    def get_or_compute(
+        self,
+        key: Any,
+        compute: Callable[[], Any],
+        deadline: Optional[DeadlineBudget] = None,
+    ) -> Any:
         """Return the stored value for ``key``, computing it at most once.
 
         The fast path is an L1 hit.  On an L1 miss the shared level is
@@ -183,12 +335,38 @@ class SharedStore:
         * ``computes`` — invocations of ``compute`` (the
           "classification calls" the service stats endpoint exposes),
         * ``waits`` — times a process waited on another's claim.
+
+        When the shared level is unreachable (breaker open, or retries
+        exhausted) the call **degrades instead of failing**: ``compute``
+        runs locally, the result lands in the L1 and the reconcile
+        queue, and the caller cannot tell the difference — same value,
+        byte-identical.  ``deadline`` threads a per-batch budget through
+        the claim wait; an exhausted budget raises
+        :class:`~repro.exceptions.DeadlineExceededError`.
         """
         cached = self._l1.get(key)
         if cached is not None:
             return cached
+        if deadline is not None:
+            deadline.check("store get_or_compute")
+        self._maybe_reconcile()
+        try:
+            return self._shared_get_or_compute(key, compute, deadline)
+        except StoreUnavailableError:
+            return self._degraded_compute(key, compute)
+
+    def _shared_get_or_compute(
+        self,
+        key: Any,
+        compute: Callable[[], Any],
+        deadline: Optional[DeadlineBudget],
+    ) -> Any:
         claim = self._new_claim()
-        entry = self._data.setdefault(key, claim)
+
+        def _claim_raw() -> Any:
+            return self._data.setdefault(key, claim)
+
+        entry = self._guard("claim", _claim_raw, deadline=deadline)
         if entry != claim and entry[0] == _VALUE_TAG:
             self._bump("hits")
             value = entry[1]
@@ -196,7 +374,7 @@ class SharedStore:
             return value
         if entry != claim:  # someone else holds the claim: wait for them
             self._bump("waits")
-            value = self._await_claim(key)
+            value = self._await_claim(key, deadline)
             if value is not None:
                 self._l1.put(key, value)
                 return value
@@ -206,81 +384,205 @@ class SharedStore:
         try:
             value = compute()
             self._bump("computes")
-            self._publish(key, value)
-            published = True
+            try:
+                self._publish(key, value)
+                published = True
+            except StoreUnavailableError:
+                # The value is good — only the sharing failed.  Remember
+                # it for reconciliation and keep the caller whole.
+                self._note_degraded(key, value)
         finally:
             # Release the claim on *any* failure between claiming and
-            # publishing — not just compute() raising.  A counter bump or
-            # publish that dies (manager hiccup) must not strand the
-            # claim, or every waiter stalls out its full claim timeout.
+            # publishing — not just compute() raising.  A publish that
+            # dies (manager hiccup) must not strand the claim, or every
+            # waiter stalls out its full claim timeout.
             if not published:
-                with self._lock:
-                    if self._data.get(key) == claim:
-                        del self._data[key]
+                self._release_claim(key, claim)
         self._l1.put(key, value)
         return value
 
-    def _await_claim(self, key: Any) -> Optional[Any]:
-        deadline = time.monotonic() + self._claim_timeout
-        while time.monotonic() < deadline:
-            entry = self._data.get(key)
+    def _release_claim(self, key: Any, claim: tuple) -> None:
+        def _release_raw() -> None:
+            with self._lock:
+                if self._data.get(key) == claim:
+                    self._data.pop(key, None)
+
+        try:
+            self._guard("claim-release", _release_raw)
+        except StoreUnavailableError:
+            # The manager that holds the claim is gone; there is nothing
+            # left to strand.  A failed-over backend starts empty.
+            self._fallbacks["dropped_claim_releases"] += 1
+
+    def _await_claim(
+        self, key: Any, deadline: Optional[DeadlineBudget] = None
+    ) -> Optional[Any]:
+        """Wait (jittered, growing backoff) for another process's value.
+
+        Each waiter starts at ``poll_interval`` and backs off
+        geometrically to :data:`_MAX_CLAIM_POLL_SECONDS`, with every
+        sleep scaled by a per-process random factor in ``[0.5, 1.5)`` —
+        a herd of waiters de-synchronises within a round instead of
+        hammering the manager in lock-step every 2 ms.  The per-process
+        RNG is deterministically seeded, so tests replay exactly.
+        """
+        limit = self._claim_timeout
+        if deadline is not None:
+            clamped = deadline.clamp(limit)
+            limit = clamped if clamped is not None else limit
+        wait_until = time.monotonic() + limit
+        interval = self._poll_interval
+        rng = process_rng()
+
+        def _read_raw() -> Any:
+            return self._data.get(key)
+
+        while True:
+            entry = self._guard("claim-wait", _read_raw, deadline=deadline)
             if entry is not None and entry[0] == _VALUE_TAG:
                 self._bump("hits")
                 return entry[1]
             if entry is None:  # claim evicted or claimant gave up
+                return None
+            now = time.monotonic()
+            if now >= wait_until:
                 break
-            time.sleep(self._poll_interval)
+            time.sleep(min(interval * (0.5 + rng.random()), wait_until - now))
+            interval = min(interval * _CLAIM_POLL_GROWTH, _MAX_CLAIM_POLL_SECONDS)
+        if deadline is not None:
+            deadline.check("claim wait")
         return None
 
     def _publish(self, key: Any, value: Any) -> None:
-        with self._lock:
-            # The key's own claim (if any) is replaced, not added, so the
-            # projected size only grows when the key is genuinely new.
-            projected = len(self._data) + (0 if key in self._data else 1)
-            while projected > self._capacity:
-                evicted = False
-                for candidate, entry in self._data.items():
-                    # Only published values are evictable: deleting a
-                    # live *claim* would make its waiters recompute,
-                    # breaking the exactly-once guarantee.
-                    if candidate != key and entry[0] == _VALUE_TAG:
-                        del self._data[candidate]
-                        self._counters["evictions"] = (
-                            self._counters.get("evictions", 0) + 1
-                        )
-                        projected -= 1
-                        evicted = True
+        def _publish_raw() -> None:
+            with self._lock:
+                # The key's own claim (if any) is replaced, not added, so
+                # the projected size only grows when the key is new.
+                projected = len(self._data) + (0 if key in self._data else 1)
+                while projected > self._capacity:
+                    evicted = False
+                    for candidate, entry in self._data.items():
+                        # Only published values are evictable: deleting a
+                        # live *claim* would make its waiters recompute,
+                        # breaking the exactly-once guarantee.
+                        if candidate != key and entry[0] == _VALUE_TAG:
+                            del self._data[candidate]
+                            self._counters["evictions"] = (
+                                self._counters.get("evictions", 0) + 1
+                            )
+                            projected -= 1
+                            evicted = True
+                            break
+                    if not evicted:
+                        # Everything else is an in-flight claim; exceed
+                        # the bound transiently rather than break the
+                        # protocol.
                         break
-                if not evicted:
-                    # Everything else is an in-flight claim; exceed the
-                    # bound transiently rather than break the protocol.
-                    break
-            self._data[key] = (_VALUE_TAG, value)
+                self._data[key] = (_VALUE_TAG, value)
 
+        self._guard("publish", _publish_raw)
+
+    # -- degraded local mode -------------------------------------------------
+    def _degraded_compute(self, key: Any, compute: Callable[[], Any]) -> Any:
+        """Answer from local compute while the shared level is down.
+
+        Dedup is suspended, correctness is not: ``compute`` is assumed
+        pure (it is — classification and solving are functions of the
+        key), so every process recomputing independently still returns
+        byte-identical values.  The window is visible in
+        ``resilience.degraded_computes``.
+        """
+        value = compute()
+        self._fallbacks["degraded_computes"] += 1
+        self._l1.put(key, value)
+        self._note_degraded(key, value)
+        return value
+
+    def _note_degraded(self, key: Any, value: Any) -> None:
+        if len(self._pending_reconcile) >= _RECONCILE_CAPACITY:
+            self._fallbacks["reconcile_overflow"] += 1
+            return
+        self._pending_reconcile[key] = value
+
+    def _maybe_reconcile(self) -> None:
+        """Republish degraded-window entries once the breaker is closed."""
+        if not self._pending_reconcile:
+            return
+        if self._policy is not None and self._breaker.state != BREAKER_CLOSED:
+            return
+        pending = list(self._pending_reconcile.items())
+        self._pending_reconcile = {}
+        for index, (key, value) in enumerate(pending):
+            try:
+                self._publish(key, value)
+            except StoreUnavailableError:
+                # Still (or again) unreachable: requeue what is left.
+                for requeue_key, requeue_value in pending[index:]:
+                    self._pending_reconcile.setdefault(requeue_key, requeue_value)
+                return
+            self._fallbacks["reconciled"] += 1
+
+    # -- lookups -------------------------------------------------------------
     def peek(self, key: Any) -> Optional[Any]:
         """The value for ``key`` if fully published, else None (no counters)."""
         cached = self._l1.peek(key)
         if cached is not None:
             return cached
-        entry = self._data.get(key)
+
+        def _peek_raw() -> Any:
+            return self._data.get(key)
+
+        try:
+            entry = self._guard("peek", _peek_raw)
+        except StoreUnavailableError:
+            return None
         if entry is not None and entry[0] == _VALUE_TAG:
             return entry[1]
         return None
 
     def put(self, key: Any, value: Any) -> None:
         """Publish a value unconditionally (overwrites claims and values)."""
-        self._publish(key, value)
+        try:
+            self._publish(key, value)
+        except StoreUnavailableError:
+            self._note_degraded(key, value)
         self._l1.put(key, value)
 
     def __len__(self) -> int:
-        return len(self._data)
+        def _len_raw() -> int:
+            return len(self._data)
+
+        try:
+            return self._guard("len", _len_raw)
+        except StoreUnavailableError:
+            return len(self._l1)
+
+    def resilience_info(self) -> Dict[str, Any]:
+        """This process's fault-handling state (breaker + fallback counters)."""
+        out: Dict[str, Any] = dict(self._fallbacks)
+        out["pending_reconcile"] = len(self._pending_reconcile)
+        out["breaker"] = self._breaker.info()
+        out["wrapped"] = self._policy is not None
+        return out
 
     def info(self) -> Dict[str, Any]:
-        """Global shared-level counters plus this process's L1 counters."""
-        with self._lock:
-            shared = dict(self._counters.items())
-        shared["size"] = len(self._data)
+        """Global shared-level counters plus this process's local state."""
+
+        def _info_raw() -> Dict[str, Any]:
+            with self._lock:
+                shared = dict(self._counters.items())
+            shared["size"] = len(self._data)
+            return shared
+
+        try:
+            shared = self._guard("info", _info_raw)
+            shared["available"] = True
+        except StoreUnavailableError:
+            shared = dict(_counter_seed())
+            shared["size"] = 0
+            shared["available"] = False
         shared["l1"] = self._l1.info()
+        shared["resilience"] = self.resilience_info()
         return shared
 
 
@@ -294,14 +596,27 @@ class TelemetrySink:
     telemetry forever, and calibration wants a recent window anyway
     (old-regime samples would outvote a shifted workload).  The local
     form uses a plain list.
+
+    Telemetry is advisory: under manager failure, :meth:`record` drops
+    the batch (counted) and :meth:`drain` reads empty rather than
+    raising — calibration simply sees fewer samples.
     """
 
-    def __init__(self, batches: Any, lock: Any, max_batches: int = 1024) -> None:
+    def __init__(
+        self,
+        batches: Any,
+        lock: Any,
+        max_batches: int = 1024,
+        policy: Optional[FaultPolicy] = DEFAULT_FAULT_POLICY,
+    ) -> None:
         if max_batches < 1:
             raise ValueError("max_batches must be at least 1")
         self._batches = batches
         self._lock = lock
         self._max_batches = max_batches
+        self._policy = policy
+        self._breaker = CircuitBreaker()
+        self._dropped_batches = 0
 
     @classmethod
     def local(cls, max_batches: int = 1024) -> "TelemetrySink":
@@ -313,6 +628,26 @@ class TelemetrySink:
     def managed(cls, manager: Any, max_batches: int = 1024) -> "TelemetrySink":
         return cls(manager.list(), manager.Lock(), max_batches)
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_breaker"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._breaker = CircuitBreaker()
+
+    def _guard(self, op_name: str, operation: Callable[[], Any]) -> Any:
+        if self._policy is None:
+            return operation()
+        return self._policy.run(operation, op_name=op_name, breaker=self._breaker)
+
+    def rebind(self, batches: Any, lock: Any) -> None:
+        """Point the sink at replacement backings (post-failover)."""
+        self._batches = batches
+        self._lock = lock
+        self._breaker.reset()
+
     def record(self, samples: list) -> None:
         """Append one batch of samples, dropping the oldest when full.
 
@@ -321,18 +656,60 @@ class TelemetrySink:
         stale ``len`` otherwise over-pop (dropping batches that never
         exceeded the bound) or race ``pop(0)`` into an IndexError.
         """
-        if samples:
+        if not samples:
+            return
+
+        def _record_raw() -> None:
             with self._lock:
                 self._batches.append(tuple(samples))
                 while len(self._batches) > self._max_batches:
                     self._batches.pop(0)
 
+        try:
+            self._guard("telemetry-record", _record_raw)
+        except StoreUnavailableError:
+            self._dropped_batches += 1
+
     def drain(self) -> list:
         """Return every sample recorded so far (order of arrival)."""
-        return [sample for batch in list(self._batches) for sample in batch]
+
+        def _drain_raw() -> list:
+            return list(self._batches)
+
+        try:
+            batches = self._guard("telemetry-drain", _drain_raw)
+        except StoreUnavailableError:
+            return []
+        return [sample for batch in batches for sample in batch]
 
     def __len__(self) -> int:
-        return sum(len(batch) for batch in list(self._batches))
+        def _len_raw() -> list:
+            return list(self._batches)
+
+        try:
+            batches = self._guard("telemetry-len", _len_raw)
+        except StoreUnavailableError:
+            return 0
+        return sum(len(batch) for batch in batches)
+
+    def info(self) -> Dict[str, Any]:
+        """This process's sink resilience state."""
+        return {
+            "dropped_batches": self._dropped_batches,
+            "breaker": self._breaker.info(),
+        }
+
+
+def _board_size(board: Any) -> int:
+    """Entry count of the heartbeat board; 0 when it is unreachable."""
+
+    def _size_raw() -> int:
+        return len(dict(board))
+
+    try:
+        return DEFAULT_FAULT_POLICY.run(_size_raw, op_name="heartbeat-size")
+    except StoreUnavailableError:
+        return 0
 
 
 @dataclass
@@ -355,6 +732,13 @@ class ServiceStores:
     ``pid → (wall-clock time, event)`` at chunk boundaries, and the
     service monitor (:mod:`repro.service.monitor`) reads it to tell a
     busy worker from a wedged one.
+
+    After a :meth:`StoreManager.failover` the *same bundle object* is
+    re-pointed in place (stores rebound, fresh ``control`` and
+    ``heartbeats`` proxies), so every parent-side holder — executor,
+    monitor, metrics callbacks — sees the replacement without
+    re-plumbing.  Pool workers hold pickled copies and are restarted by
+    the front-end.
     """
 
     profiles: Optional[SharedStore] = None
@@ -369,7 +753,7 @@ class ServiceStores:
             "answers": None if self.answers is None else self.answers.info(),
             "telemetry_samples": None if self.telemetry is None else len(self.telemetry),
             "heartbeats": (
-                None if self.heartbeats is None else len(dict(self.heartbeats))
+                None if self.heartbeats is None else _board_size(self.heartbeats)
             ),
         }
 
@@ -382,6 +766,17 @@ class StoreManager:
     worker pool.  ``shared=False`` builds in-process stores with the
     same interface and counters.  Use as a context manager or call
     :meth:`close`.
+
+    The manager process is a single point of failure, so this class is
+    also its supervisor: :meth:`manager_alive` is the liveness probe
+    the front-end runs per batch, and :meth:`failover` replaces a dead
+    manager wholesale — fresh manager process, fresh (empty) backings,
+    every store re-pointed **in place** so the executor, monitor and
+    metrics callbacks keep working through the same objects.  Shared
+    state is cache-semantics by construction (profiles and answers are
+    recomputable, telemetry is advisory, heartbeats repopulate on the
+    next chunk), so nothing is copied out of the corpse; the stores'
+    L1s and reconcile queues refill the new backend lazily.
     """
 
     def __init__(
@@ -391,24 +786,42 @@ class StoreManager:
         answer_capacity: int = 8192,
         telemetry: bool = True,
         claim_timeout: float = 30.0,
+        policy: Optional[FaultPolicy] = DEFAULT_FAULT_POLICY,
     ) -> None:
         self._manager = None
+        self._policy = policy
+        self._telemetry_enabled = telemetry
+        #: Bumped on every :meth:`failover`; the front-end records it so
+        #: stats can show how many managers this service outlived.
+        self.generation = 0
         if shared:
             import multiprocessing
 
             self._manager = multiprocessing.Manager()
             profiles = SharedStore.managed(
-                self._manager, capacity=profile_capacity, claim_timeout=claim_timeout
+                self._manager,
+                capacity=profile_capacity,
+                claim_timeout=claim_timeout,
+                policy=policy,
             )
             answers = SharedStore.managed(
-                self._manager, capacity=answer_capacity, claim_timeout=claim_timeout
+                self._manager,
+                capacity=answer_capacity,
+                claim_timeout=claim_timeout,
+                policy=policy,
             )
-            sink = TelemetrySink.managed(self._manager) if telemetry else None
+            sink = (
+                TelemetrySink(
+                    self._manager.list(), self._manager.Lock(), policy=policy
+                )
+                if telemetry
+                else None
+            )
             control: Any = self._manager.dict()
             heartbeats: Any = self._manager.dict()
         else:
-            profiles = SharedStore.local(capacity=profile_capacity)
-            answers = SharedStore.local(capacity=answer_capacity)
+            profiles = SharedStore.local(capacity=profile_capacity, policy=policy)
+            answers = SharedStore.local(capacity=answer_capacity, policy=policy)
             sink = TelemetrySink.local() if telemetry else None
             control = {}
             heartbeats = {}
@@ -425,9 +838,79 @@ class StoreManager:
         """True when a manager process backs the stores."""
         return self._manager is not None
 
+    # -- supervision ---------------------------------------------------------
+    def manager_pid(self) -> Optional[int]:
+        """The backing manager process's pid (None for local stores)."""
+        if self._manager is None:
+            return None
+        process = getattr(self._manager, "_process", None)
+        return None if process is None else process.pid
+
+    def manager_alive(self) -> bool:
+        """Liveness probe: is the backing manager process still running?
+
+        Local (in-process) stores have no separate process to die, so
+        they always read alive.
+        """
+        if self._manager is None:
+            return True
+        process = getattr(self._manager, "_process", None)
+        return bool(process is not None and process.is_alive())
+
+    def failover(self) -> int:
+        """Replace a dead manager process; returns the new generation.
+
+        A fresh manager is started and every store in :attr:`stores` is
+        re-pointed at fresh backings **in place** — same
+        :class:`SharedStore` / :class:`TelemetrySink` / bundle objects,
+        new proxies inside — so parent-side holders recover without
+        re-plumbing.  The shared state is rebuilt lazily: L1s and
+        reconcile queues republish what this process knows, workers
+        re-populate the rest on demand.  The caller (the front-end)
+        still owns two follow-ups: republish the planner control slot
+        and restart the pool so workers pickle the new proxies.
+        """
+        if self._manager is None:
+            return self.generation
+        import multiprocessing
+
+        old = self._manager
+        self._manager = multiprocessing.Manager()
+        manager = self._manager
+        stores = self.stores
+        if stores.profiles is not None:
+            stores.profiles.rebind(
+                data=manager.dict(),
+                lock=manager.Lock(),
+                counters=manager.dict(_counter_seed()),
+            )
+        if stores.answers is not None:
+            stores.answers.rebind(
+                data=manager.dict(),
+                lock=manager.Lock(),
+                counters=manager.dict(_counter_seed()),
+            )
+        if stores.telemetry is not None:
+            stores.telemetry.rebind(manager.list(), manager.Lock())
+        stores.control = manager.dict()
+        stores.heartbeats = manager.dict()
+        self.generation += 1
+        try:
+            old.shutdown()
+        except Exception:
+            # The old manager is dead or dying — that is why we are
+            # here; its shutdown raising must not fail the recovery.
+            pass
+        return self.generation
+
     def close(self) -> None:
         if self._manager is not None:
-            self._manager.shutdown()
+            try:
+                self._manager.shutdown()
+            except Exception:
+                # A dead manager (the failover case, or a test killing
+                # it) has nothing left to shut down.
+                pass
             self._manager = None
 
     def __enter__(self) -> "StoreManager":

@@ -24,7 +24,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 REPO_SRC = REPO_ROOT / "src"
 
 ALL_RULES = (
-    "API001", "API002", "API003",
+    "API001", "API002", "API003", "API004",
     "DET001", "DET002", "DET003", "DET004",
     "FRK001", "FRK002", "FRK003",
     "LCK001",
@@ -557,6 +557,73 @@ class TestAPI003:
 
             def width(graph):
                 return legacy_exact_treedepth(graph)
+            """,
+        )
+        assert fired == []
+
+
+class TestAPI004:
+    def test_fires_on_bare_proxy_ops_in_service_code(self, tmp_path):
+        fired, report = scan_snippet(
+            tmp_path, "service/mod.py",
+            """
+            class Monitor:
+                def __init__(self, heartbeat_board):
+                    self._heartbeat_board = heartbeat_board
+
+                def snapshot(self):
+                    return dict(self._heartbeat_board)
+
+                def forget(self, worker):
+                    self._heartbeat_board.pop(worker, None)
+            """,
+        )
+        assert fired == ["API004", "API004"]
+        assert "bypasses the fault policy" in report.findings[0].message
+
+    def test_quiet_when_quarantined_in_a_raw_function(self, tmp_path):
+        fired, _ = scan_snippet(
+            tmp_path, "service/mod.py",
+            """
+            class Monitor:
+                def __init__(self, heartbeat_board, policy):
+                    self._heartbeat_board = heartbeat_board
+                    self._policy = policy
+
+                def snapshot(self):
+                    def _snapshot_raw():
+                        return dict(self._heartbeat_board)
+                    return self._policy.run(_snapshot_raw, op_name="snapshot")
+
+                def forget(self, worker):
+                    self._guard(
+                        lambda: self._heartbeat_board.pop(worker, None)
+                    )
+            """,
+        )
+        assert fired == []
+
+    def test_quiet_outside_the_service_layer(self, tmp_path):
+        fired, _ = scan_snippet(
+            tmp_path, "eval/mod.py",
+            """
+            class Context:
+                def __init__(self, heartbeat_board):
+                    self._heartbeat_board = heartbeat_board
+
+                def snapshot(self):
+                    return dict(self._heartbeat_board)
+            """,
+        )
+        assert fired == []
+
+    def test_quiet_on_untainted_mappings(self, tmp_path):
+        fired, _ = scan_snippet(
+            tmp_path, "service/mod.py",
+            """
+            def summarise(plain_counts):
+                plain_counts.pop("stale", None)
+                return dict(plain_counts)
             """,
         )
         assert fired == []

@@ -172,6 +172,40 @@ class TestMetricsRegistry:
         assert "# TYPE repro_depth gauge" in text
         assert text.endswith("\n")
 
+    def test_label_values_escape_prometheus_specials(self):
+        # One label value holding all three characters the exposition
+        # format escapes: backslash (first — order matters), quote, LF.
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "ops", labelnames=("path",))
+        counter.inc(path='a\\b"c\nd')
+        text = registry.render_prometheus()
+        assert 'repro_ops_total{path="a\\\\b\\"c\\nd"} 1' in text
+        # The sample still occupies exactly one physical line.
+        sample_lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(sample_lines) == 1
+
+    def test_help_text_escapes_backslash_and_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", 'win\\path docs\nsecond "quoted" line')
+        text = registry.render_prometheus()
+        help_lines = [l for l in text.splitlines() if l.startswith("# HELP")]
+        assert help_lines == [
+            '# HELP repro_ops_total win\\\\path docs\\nsecond "quoted" line'
+        ]
+
+    def test_register_store_metrics_exports_breaker_gauges(self, scenario):
+        with QueryService(
+            scenario.database, executor=ExecutorConfig(workers=1)
+        ) as service:
+            service.evaluate(scenario.queries)
+            collected = service.metrics.collect()
+        breaker = collected["repro_store_breaker_state"]["samples"]
+        assert breaker['{store="profiles"}'] == 0.0  # closed
+        assert breaker['{store="answers"}'] == 0.0
+        resilience = collected["repro_store_resilience_counter"]["samples"]
+        assert resilience['{store="profiles",counter="retries"}'] == 0.0
+        assert resilience['{store="profiles",counter="degraded_computes"}'] == 0.0
+
     def test_register_store_metrics_exports_counters(self, scenario):
         with QueryService(
             scenario.database, executor=ExecutorConfig(workers=1)
@@ -210,6 +244,8 @@ EXPECTED_MONITOR_KEYS = {
     "deadline_expiries",
     "deadline_seconds",
     "workers",
+    "failovers",
+    "failover_events",
 }
 
 EXPECTED_AUTOTUNE_KEYS = {
